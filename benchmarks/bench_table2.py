@@ -1,0 +1,49 @@
+"""Table 2 reproduction: privatization status of every designated array.
+
+The paper reports every listed array automatically privatized except
+MDG's ``RL`` (the Figure 1(a) case needing quantified predicates).  The
+harness prints a yes/no per array and asserts exact agreement.
+"""
+
+from __future__ import annotations
+
+from repro import Panorama
+from repro.driver.report import format_table
+from repro.kernels import KERNELS
+
+from conftest import emit
+
+
+def _statuses():
+    results = {}
+    rows = []
+    agree = True
+    for kernel in KERNELS:
+        if kernel.source not in results:
+            results[kernel.source] = Panorama(
+                sizes=kernel.sizes, run_machine_model=False
+            ).compile(kernel.source)
+        report = results[kernel.source].loop(kernel.routine, kernel.loop_label)
+        priv = report.verdict.privatization
+        cells = []
+        for name in kernel.privatizable:
+            ok = any(v.name == name and v.privatizable for v in priv.verdicts)
+            agree = agree and ok
+            cells.append(f"{name.upper()}:{'yes' if ok else 'NO!'}")
+        for name in kernel.not_privatizable:
+            ok = any(v.name == name and v.privatizable for v in priv.verdicts)
+            agree = agree and not ok
+            cells.append(f"{name.upper()}:{'no' if not ok else 'YES!'}")
+        rows.append([kernel.program, kernel.loop_id, " ".join(cells)])
+    return rows, agree
+
+
+def test_table2(benchmark):
+    rows, agree = benchmark(_statuses)
+    table = format_table(
+        ["program", "loop", "array status (paper: all yes except MDG RL)"],
+        rows,
+        title="Table 2: automatically privatizable arrays",
+    )
+    emit("table2", table)
+    assert agree, table

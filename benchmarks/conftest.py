@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark regenerates one of the paper's tables/figures: it prints
+the rows (and writes them under ``benchmarks/out/``) and times the
+underlying analysis with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}", file=sys.stderr)

@@ -1,0 +1,58 @@
+"""Quickstart: analyze a small Fortran loop nest for parallelization.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Panorama
+
+SOURCE = """
+      SUBROUTINE smooth(A, B, n, m)
+      REAL A(1000), B(1000)
+      INTEGER n, m, i, j
+      REAL T(100)
+      REAL s
+      DO i = 1, n
+C       fill a private working buffer for this iteration
+        DO j = 1, m
+          T(j) = A(j) * 0.5 + A(j+1) * 0.5
+        ENDDO
+C       consume it
+        s = 0.0
+        DO j = 1, m
+          s = s + T(j)
+        ENDDO
+        B(i) = s
+      ENDDO
+      END
+"""
+
+
+def main() -> None:
+    result = Panorama().compile(SOURCE)
+
+    print("Per-loop verdicts")
+    print("-----------------")
+    for loop in result.loops:
+        print(f"  {loop.loop_id():12} -> {loop.status.value}")
+        if loop.verdict:
+            for name in loop.verdict.privatized:
+                print(f"      privatized: {name}")
+            for name in loop.verdict.reductions:
+                print(f"      reduction:  {name}")
+
+    print()
+    outer = result.loops[0]
+    record = outer.verdict.record
+    print(f"Summary sets of the outer loop (index {record.var}):")
+    print(f"  MOD_i  = {record.mod_i}")
+    print(f"  UE_i   = {record.ue_i}")
+    print(f"  MOD_<i = {record.mod_lt}")
+    print()
+    print(
+        "T is written before it is read in every iteration (UE_i has no T),"
+    )
+    print("so T is privatizable and the outer loop runs in parallel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Validate the analysis against a concrete execution trace.
+
+The repository ships a concrete interpreter for the Fortran subset; this
+example runs a kernel, collects its per-iteration access trace for the
+outer loop, and checks the symbolic analysis' claims against reality —
+the strongest evidence a "parallel" verdict can get.
+
+Run:  python examples/validate_analysis.py
+"""
+
+from repro import Panorama
+from repro.validate import validate_loop
+
+SOURCE = """
+      SUBROUTINE stencil(grid, out, n, m)
+      REAL grid(60, 60), out(60, 60)
+      INTEGER n, m, i, j
+      REAL row(60)
+      DO i = 2, n
+        DO j = 2, m
+          row(j) = grid(i, j) * 0.5 + grid(i - 1, j) * 0.5
+        ENDDO
+        DO j = 2, m
+          out(i, j) = row(j) - row(j - 1)
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def main() -> None:
+    result = Panorama(run_machine_model=False).compile(SOURCE)
+    outer = result.loops[0]
+    print(f"analysis verdict: {outer.loop_id()} -> {outer.status.value}")
+    print(f"  privatized: {', '.join(outer.verdict.privatized)}")
+    print()
+
+    grid = {(i, j): float(i + j) for i in range(1, 13) for j in range(1, 10)}
+    report = validate_loop(
+        SOURCE,
+        "stencil",
+        "i",
+        args={"grid": grid, "out": {}, "n": 8, "m": 6},
+    )
+    print(f"executed {len(report.iterations)} iterations in the interpreter")
+    print(f"containment-checked variables:   {sorted(report.checked)}")
+    print(f"privatization claims verified:   {sorted(report.privatization_checked)}")
+    print(f"violations:                      {report.violations or 'none'}")
+    print()
+    trace = report.iterations[2]
+    print(f"sample trace (iteration i={trace.index_value}):")
+    for name in sorted(trace.writes):
+        print(f"  wrote {name}: {sorted(trace.writes[name])[:6]} ...")
+    for name in sorted(trace.exposed_reads):
+        print(
+            f"  upward-exposed reads of {name}: "
+            f"{sorted(trace.exposed_reads[name])[:6]} ..."
+        )
+    assert report.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Parallel code generation: directive-annotated Fortran output."""
+
+from .directives import DirectiveClauses, annotate, clauses_for, directive_lines
+
+__all__ = ["DirectiveClauses", "annotate", "clauses_for", "directive_lines"]

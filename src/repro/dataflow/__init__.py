@@ -1,0 +1,52 @@
+"""Symbolic array dataflow analysis (the paper's core, sections 3-4).
+
+Guarded-array-region summaries (MOD, UE and the per-iteration /
+prior-iteration variants) computed by backward propagation over the HSG,
+with IF conditions attached as guards, scalars substituted on the fly,
+and loop summaries obtained through the expansion function.
+"""
+
+from .analyzer import SummaryAnalyzer, analyze_program_summaries
+from .downward import downward_segment, loop_de_sets
+from .reaching import (
+    DefKind,
+    ReachingDefinitions,
+    ScalarDef,
+    compute_reaching,
+    reaching_for_unit,
+)
+from .context import AnalysisOptions, AnalysisStats, LoopSummaryRecord
+from .convert import (
+    ConversionContext,
+    reset_opaque_counter,
+    to_predicate,
+    to_symexpr,
+)
+from .expansion import expand_gar, expand_gar_list
+from .summary import Summary, collect_uses, reference_gar, scalar_gar, scalar_region
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisStats",
+    "ConversionContext",
+    "DefKind",
+    "LoopSummaryRecord",
+    "ReachingDefinitions",
+    "ScalarDef",
+    "Summary",
+    "SummaryAnalyzer",
+    "analyze_program_summaries",
+    "collect_uses",
+    "compute_reaching",
+    "downward_segment",
+    "expand_gar",
+    "expand_gar_list",
+    "loop_de_sets",
+    "reaching_for_unit",
+    "reference_gar",
+    "reset_opaque_counter",
+    "scalar_gar",
+    "scalar_region",
+    "to_predicate",
+    "to_symexpr",
+]

@@ -1,0 +1,201 @@
+"""The symbolic array dataflow analyzer: ties the SUM_* algorithms together.
+
+:class:`SummaryAnalyzer` owns the HSG, the analysis options (the T1/T2/T3
+toggles of Table 1), the comparer, and the caches:
+
+* ``routine_summary(name)`` — the interprocedural (MOD, UE) of a whole
+  routine in terms of its formals and COMMON names (computed once,
+  bottom-up over the acyclic call graph);
+* ``loop_summary(loop)`` — the full per-loop record (``MOD_i``, ``UE_i``,
+  ``MOD_{<i}``, ``MOD_{>i}``, ``MOD``, ``UE``) used by the privatization
+  and parallelization clients;
+* ``condition_predicate(node)`` — the guard of an IF-condition node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fortran.ast_nodes import Expr
+from ..hsg.builder import HSG
+from ..hsg.cfg import FlowGraph
+from ..hsg.nodes import IfConditionNode, LoopNode
+from ..symbolic import Comparer, Predicate
+from .context import AnalysisOptions, AnalysisStats, LoopSummaryRecord
+from .convert import ConversionContext, to_predicate
+from .summary import Summary
+from .sum_loop import summarize_loop
+from .sum_segment import sum_segment
+
+
+class SummaryAnalyzer:
+    """Array dataflow summary computation over a built HSG."""
+
+    def __init__(self, hsg: HSG, options: AnalysisOptions | None = None) -> None:
+        self.hsg = hsg
+        self.options = options or AnalysisOptions()
+        self.comparer = self.options.comparer()
+        self.stats = AnalysisStats()
+        self._routine_cache: dict[str, Summary] = {}
+        self._loop_cache: dict[tuple[int, frozenset[str]], LoopSummaryRecord] = {}
+        self._cond_cache: dict[tuple[int, frozenset[str]], Predicate] = {}
+        self._de_cache: dict[tuple[int, frozenset[str]], tuple] = {}
+        self._routine_de_cache: dict[str, object] = {}
+        self._in_progress: set[str] = set()
+
+    # -- contexts ------------------------------------------------------------------
+
+    def context_for(self, unit_name: str) -> ConversionContext:
+        """A fresh conversion context for one routine."""
+        return ConversionContext(
+            table=self.hsg.analyzed.table(unit_name),
+            symbolic=self.options.symbolic,
+            if_conditions=self.options.if_conditions,
+            index_array_forms=dict(self.options.index_array_forms),
+        )
+
+    # -- cached computations ----------------------------------------------------------
+
+    def routine_summary(self, unit_name: str) -> Summary:
+        """(MOD, UE) of a whole routine, in terms of formals and COMMONs."""
+        cached = self._routine_cache.get(unit_name)
+        if cached is not None:
+            return cached
+        if unit_name in self._in_progress:  # guarded by callgraph check too
+            from ..errors import CallGraphError
+
+            raise CallGraphError(f"recursive summary request for {unit_name}")
+        self._in_progress.add(unit_name)
+        try:
+            graph = self.hsg.graph(unit_name)
+            summary = self.sum_segment(graph, self.context_for(unit_name))
+        finally:
+            self._in_progress.discard(unit_name)
+        self._routine_cache[unit_name] = summary
+        self.stats.routines_summarized += 1
+        return summary
+
+    def loop_summary(
+        self, loop: LoopNode, ctx: ConversionContext
+    ) -> LoopSummaryRecord:
+        """The cached LoopSummaryRecord of a loop in context."""
+        key = (loop.node_id, ctx.active_indices)
+        cached = self._loop_cache.get(key)
+        if cached is None:
+            cached = summarize_loop(self, loop, ctx)
+            self._loop_cache[key] = cached
+        return cached
+
+    def loop_de(self, loop: LoopNode, ctx: ConversionContext):
+        """Whole-loop downward-exposed use set (section 3.2.2 footnote)."""
+        return self.loop_de_sets(loop, ctx)[1]
+
+    def loop_de_sets(self, loop: LoopNode, ctx: ConversionContext):
+        """``(DE_i, DE)`` of a loop, cached like the MOD/UE summaries."""
+        from .downward import loop_de_sets
+
+        key = (loop.node_id, ctx.active_indices)
+        cached = self._de_cache.get(key)
+        if cached is None:
+            cached = loop_de_sets(self, loop, ctx)
+            self._de_cache[key] = cached
+        return cached
+
+    def routine_de(self, unit_name: str):
+        """Downward-exposed use set of a whole routine."""
+        from .downward import downward_segment
+
+        cached = self._routine_de_cache.get(unit_name)
+        if cached is None:
+            graph = self.hsg.graph(unit_name)
+            cached = downward_segment(self, graph, self.context_for(unit_name))
+            self._routine_de_cache[unit_name] = cached
+        return cached
+
+    def condition_predicate(
+        self, node: IfConditionNode, ctx: ConversionContext
+    ) -> Predicate:
+        """The (cached) guard of an IF-condition node."""
+        key = (node.node_id, ctx.active_indices)
+        cached = self._cond_cache.get(key)
+        if cached is None:
+            cached = to_predicate(node.cond, ctx)
+            self._cond_cache[key] = cached
+        return cached
+
+    # -- propagation -----------------------------------------------------------------------
+
+    def sum_segment(
+        self,
+        graph: FlowGraph,
+        ctx: ConversionContext,
+        record_below=None,
+    ) -> Summary:
+        """Backward (MOD, UE) propagation over a subgraph."""
+        return sum_segment(self, graph, ctx, record_below)
+
+    def below_summary(self, unit_name: str, loop: LoopNode) -> Summary:
+        """What the program still reads/writes after *loop* completes,
+        within its containing flow subgraph (for copy-out analysis)."""
+        graph = self._containing_graph(unit_name, loop)
+        ctx = self.context_for(unit_name)
+        for idx in self._enclosing_indices(unit_name, loop):
+            ctx = ctx.with_index(idx)
+        record: dict = {}
+        self.sum_segment(graph, ctx, record_below=record)
+        return record.get(loop, Summary.empty())
+
+    def _containing_graph(self, unit_name: str, loop: LoopNode) -> FlowGraph:
+        def rec(graph: FlowGraph) -> Optional[FlowGraph]:
+            for node in graph.nodes:
+                if node is loop:
+                    return graph
+                if isinstance(node, LoopNode):
+                    found = rec(node.body)
+                    if found is not None:
+                        return found
+            return None
+
+        found = rec(self.hsg.graph(unit_name))
+        if found is None:
+            raise KeyError(f"loop {loop.describe()} not in {unit_name}")
+        return found
+
+    # -- loop lookup helpers -----------------------------------------------------------------
+
+    def loop_record(
+        self, unit_name: str, loop: LoopNode
+    ) -> LoopSummaryRecord:
+        """Loop summary with the enclosing-context indices reconstructed."""
+        ctx = self.context_for(unit_name)
+        for enclosing in self._enclosing_indices(unit_name, loop):
+            ctx = ctx.with_index(enclosing)
+        return self.loop_summary(loop, ctx)
+
+    def _enclosing_indices(self, unit_name: str, loop: LoopNode) -> list[str]:
+        """Index variables of loops enclosing *loop* in its routine."""
+        out: list[str] = []
+
+        def rec(graph: FlowGraph, stack: list[str]) -> Optional[list[str]]:
+            for node in graph.nodes:
+                if node is loop:
+                    return stack
+                if isinstance(node, LoopNode):
+                    found = rec(node.body, stack + [node.var])
+                    if found is not None:
+                        return found
+            return None
+
+        found = rec(self.hsg.graph(unit_name), [])
+        return found if found is not None else out
+
+
+def analyze_program_summaries(
+    hsg: HSG, options: AnalysisOptions | None = None
+) -> dict[str, Summary]:
+    """Summaries for every routine, computed bottom-up (convenience)."""
+    analyzer = SummaryAnalyzer(hsg, options)
+    out: dict[str, Summary] = {}
+    for name in hsg.call_graph.order:
+        out[name] = analyzer.routine_summary(name)
+    return out

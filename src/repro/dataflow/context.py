@@ -1,0 +1,102 @@
+"""Analysis options, per-loop summary records, and statistics.
+
+The three option toggles correspond to the technique columns of the
+paper's Table 1:
+
+* ``symbolic`` (T1) — symbolic expression analysis.  Off: only integer
+  constants and enclosing loop indices are understood; all symbolic
+  comparisons fail.
+* ``if_conditions`` (T2) — IF condition analysis.  Off: branch
+  contributions are merged under the unknown guard Δ (the traditional
+  "conservative merge" of flow-sensitive analyses that ignore condition
+  contents).
+* ``interprocedural`` (T3) — interprocedural propagation through the HSG.
+  Off: every CALL is opaque (arrays passed or in COMMON are Ω).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import Tuple
+
+from ..regions import GARList
+from ..symbolic import Comparer, SymExpr
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    symbolic: bool = True  # T1
+    if_conditions: bool = True  # T2
+    interprocedural: bool = True  # T3
+    #: use the Fourier-Motzkin fallback prover (stronger simplifier)
+    use_fm: bool = True
+    #: closed forms for subscript arrays (paper section 6): pairs of
+    #: (array name, expression over convert.subscript_placeholder)
+    index_array_forms: Tuple[Tuple[str, SymExpr], ...] = ()
+
+    def comparer(self) -> Comparer:
+        """A comparer configured per the option toggles."""
+        return Comparer(use_fm=self.use_fm, symbolic=self.symbolic)
+
+    @classmethod
+    def all_on(cls) -> "AnalysisOptions":
+        return cls()
+
+    @classmethod
+    def ablation(cls, disable: str) -> "AnalysisOptions":
+        """Options with one technique disabled: 'T1' | 'T2' | 'T3'."""
+        key = {"T1": "symbolic", "T2": "if_conditions", "T3": "interprocedural"}[
+            disable
+        ]
+        return cls(**{key: False})  # type: ignore[arg-type]
+
+
+@dataclass
+class LoopSummaryRecord:
+    """Everything the clients need about one DO loop (section 3/4 sets)."""
+
+    routine: str
+    var: str
+    lo: SymExpr
+    hi: SymExpr
+    step: SymExpr
+    #: per-iteration sets (in terms of the free index variable)
+    mod_i: GARList = field(default_factory=GARList)
+    ue_i: GARList = field(default_factory=GARList)
+    #: prior/later iteration mods (free index = the current iteration)
+    mod_lt: GARList = field(default_factory=GARList)
+    mod_gt: GARList = field(default_factory=GARList)
+    #: whole-loop sets (index eliminated)
+    mod: GARList = field(default_factory=GARList)
+    ue: GARList = field(default_factory=GARList)
+    #: conservative flags
+    has_premature_exit: bool = False
+    negative_step: bool = False
+
+    def __str__(self) -> str:
+        return (
+            f"loop {self.var}={self.lo},{self.hi},{self.step} in {self.routine}:\n"
+            f"  MOD_i  = {self.mod_i}\n"
+            f"  UE_i   = {self.ue_i}\n"
+            f"  MOD_<i = {self.mod_lt}\n"
+            f"  MOD_>i = {self.mod_gt}\n"
+            f"  MOD    = {self.mod}\n"
+            f"  UE     = {self.ue}"
+        )
+
+
+@dataclass
+class AnalysisStats:
+    """Instrumentation used by the Figure-4 style cost reporting."""
+
+    nodes_visited: int = 0
+    gar_ops: int = 0
+    loops_summarized: int = 0
+    routines_summarized: int = 0
+    peak_gar_list: int = 0
+
+    def note_list(self, gars: GARList) -> None:
+        """Record a GAR-list size for the peak statistic."""
+        if len(gars) > self.peak_gar_list:
+            self.peak_gar_list = len(gars)

@@ -1,0 +1,288 @@
+"""Conversion from Fortran expressions to symbolic expressions/predicates.
+
+This is where the paper's "symbolic analysis" (technique T1 of Table 1)
+and "IF condition analysis" (T2) enter:
+
+* :func:`to_symexpr` maps an integer-valued Fortran expression to a
+  :class:`~repro.symbolic.expr.SymExpr`; anything outside the symbolic
+  subset (array references, function calls, truncating division,
+  real arithmetic) yields ``None`` — the caller then substitutes a fresh
+  *opaque symbol*, which keeps identical unknown values consistent but
+  assumes nothing else about them.
+* :func:`to_predicate` maps an IF condition to a guard
+  :class:`~repro.symbolic.predicate.Predicate`; conditions containing
+  array references yield Δ (the paper's implementation restriction,
+  section 5.2 — this is exactly why MDG's ``RL`` is not privatized).
+
+With symbolic analysis disabled (the T1 ablation) every non-literal
+expression is opaque, reproducing the behaviour of a non-symbolic
+analyzer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from ..fortran.ast_nodes import (
+    Apply,
+    BinOp,
+    Expr,
+    IntLit,
+    LogicalLit,
+    NameRef,
+    RealLit,
+    StringLit,
+    UnOp,
+)
+from ..fortran.semantics import SymbolTable
+from ..symbolic import BoolAtom, Predicate, Relation, SymExpr
+
+_REL_OPS = {".eq.", ".ne.", ".lt.", ".le.", ".gt.", ".ge."}
+_opaque_counter = itertools.count(1)
+
+
+def subscript_placeholder(position: int) -> SymExpr:
+    """Placeholder for the *position*-th subscript of an index-array form.
+
+    The paper (section 6) replaces subscript arrays like ARC2D's
+    ``JPLUS``/``JMINUS`` with their closed-form expressions ("forward
+    substitution by hand"); an :data:`index_array_forms` entry such as
+    ``{"jplus": subscript_placeholder(1) + 1}`` performs the same
+    substitution mechanically: ``A(JPLUS(J))`` converts as ``A(J+1)``.
+    """
+    return SymExpr.var(f"arg%{position}")
+
+
+@dataclass
+class ConversionContext:
+    """Everything expression conversion needs to know."""
+
+    table: SymbolTable
+    #: T1: symbolic analysis of non-index variables enabled
+    symbolic: bool = True
+    #: T2: IF conditions turned into guards (otherwise Δ)
+    if_conditions: bool = True
+    #: loop index variables currently in scope (always symbolic, even
+    #: with T1 off — conventional analyses handle induction variables)
+    active_indices: frozenset[str] = frozenset()
+    #: extra scalar value bindings applied on conversion (forward
+    #: substitution of PARAMETER constants)
+    bindings: dict[str, SymExpr] = field(default_factory=dict)
+    #: closed forms for subscript arrays (paper section 6), keyed by
+    #: array name; expressions over :func:`subscript_placeholder`
+    index_array_forms: dict[str, SymExpr] = field(default_factory=dict)
+
+    def with_index(self, name: str) -> "ConversionContext":
+        """The context with one more active loop index."""
+        bindings = self.bindings
+        if name in bindings:
+            # the loop index shadows any forward value binding
+            bindings = {k: v for k, v in bindings.items() if k != name}
+        return ConversionContext(
+            self.table,
+            self.symbolic,
+            self.if_conditions,
+            self.active_indices | {name},
+            bindings,
+            self.index_array_forms,
+        )
+
+    def fresh_opaque(self, hint: str = "v") -> SymExpr:
+        """A fresh symbol standing for an unknown (but fixed) value."""
+        return SymExpr.var(f"{hint}@{next(_opaque_counter)}")
+
+
+def reset_opaque_counter() -> None:
+    """Restart opaque-symbol numbering (deterministic test output)."""
+    global _opaque_counter
+    _opaque_counter = itertools.count(1)
+
+
+def _real_literal(text: str) -> Optional[Fraction]:
+    t = text.replace("d", "e")
+    try:
+        if "e" in t:
+            mant, _, exp = t.partition("e")
+            return Fraction(mant or "0") * Fraction(10) ** int(exp)
+        return Fraction(t)
+    except (ValueError, ZeroDivisionError):
+        return None
+
+
+def to_symexpr(expr: Expr, ctx: ConversionContext) -> Optional[SymExpr]:
+    """Symbolic form of an integer-valued expression, or ``None``."""
+    if isinstance(expr, IntLit):
+        return SymExpr.const(expr.value)
+    if isinstance(expr, NameRef):
+        name = expr.name
+        if name in ctx.bindings:
+            return ctx.bindings[name]
+        if name in ctx.table.parameters:
+            return to_symexpr(ctx.table.parameters[name], ctx)
+        if ctx.table.is_array(name):
+            return None
+        if name in ctx.active_indices:
+            return SymExpr.var(name)
+        if not ctx.symbolic:
+            return None  # T1 off: only constants and loop indices
+        return SymExpr.var(name)
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            inner = to_symexpr(expr.operand, ctx)
+            return None if inner is None else -inner
+        if expr.op == "+":
+            return to_symexpr(expr.operand, ctx)
+        return None
+    if isinstance(expr, Apply) and expr.is_array:
+        form = ctx.index_array_forms.get(expr.name)
+        if form is not None:
+            subs = [to_symexpr(a, ctx) for a in expr.args]
+            if all(s is not None for s in subs):
+                return form.substitute(
+                    {f"arg%{k}": s for k, s in enumerate(subs, start=1)}
+                )
+        return None
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-", "*", "/", "**"):
+            left = to_symexpr(expr.left, ctx)
+            right = to_symexpr(expr.right, ctx)
+            if left is None or right is None:
+                return None
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                # Fortran integer division truncates; only exact constant
+                # divisions are representable
+                divisor = right.constant_value()
+                if divisor is None or divisor == 0:
+                    return None
+                quotient = left.div_const(divisor)
+                if all(c.denominator == 1 for _, c in quotient.terms):
+                    return quotient
+                return None
+            # '**' with small constant exponent
+            power = right.constant_value()
+            if power is None or power.denominator != 1:
+                return None
+            p = power.numerator
+            if 0 <= p <= 4:
+                out = SymExpr.const(1)
+                for _ in range(p):
+                    out = out * left
+                return out
+            return None
+        return None
+    return None  # Apply / RealLit / StringLit / LogicalLit
+
+
+def is_integer_expr(expr: Expr, ctx: ConversionContext) -> bool:
+    """Conservatively: every leaf is integer-typed."""
+    if isinstance(expr, IntLit):
+        return True
+    if isinstance(expr, (RealLit, StringLit, LogicalLit)):
+        return False
+    if isinstance(expr, NameRef):
+        if ctx.table.is_array(expr.name):
+            return False
+        return ctx.table.type_of(expr.name) == "integer"
+    if isinstance(expr, UnOp):
+        return expr.op in ("-", "+") and is_integer_expr(expr.operand, ctx)
+    if isinstance(expr, BinOp):
+        return (
+            expr.op in ("+", "-", "*", "/", "**")
+            and is_integer_expr(expr.left, ctx)
+            and is_integer_expr(expr.right, ctx)
+        )
+    if isinstance(expr, Apply):
+        return False
+    return False
+
+
+def _numeric_side(expr: Expr, ctx: ConversionContext) -> Optional[SymExpr]:
+    """Symbolic form of one side of a comparison (integer or real).
+
+    Real scalars become symbolic variables; simple real literals become
+    exact rationals.  Returns ``None`` for unsupported forms.
+    """
+    sym = to_symexpr(expr, ctx)
+    if sym is not None:
+        return sym
+    if isinstance(expr, RealLit):
+        value = _real_literal(expr.text)
+        return None if value is None else SymExpr.const(value)
+    if isinstance(expr, NameRef):
+        if ctx.table.is_array(expr.name):
+            return None
+        if not ctx.symbolic and expr.name not in ctx.active_indices:
+            return None
+        if ctx.table.type_of(expr.name) in ("real", "doubleprecision"):
+            return SymExpr.var(expr.name)
+        return None
+    if isinstance(expr, UnOp) and expr.op == "-":
+        inner = _numeric_side(expr.operand, ctx)
+        return None if inner is None else -inner
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        left = _numeric_side(expr.left, ctx)
+        right = _numeric_side(expr.right, ctx)
+        if left is None or right is None:
+            return None
+        return left + right if expr.op == "+" else left - right
+    if isinstance(expr, BinOp) and expr.op == "*":
+        left = _numeric_side(expr.left, ctx)
+        right = _numeric_side(expr.right, ctx)
+        if left is None or right is None:
+            return None
+        if left.is_constant() or right.is_constant():
+            return left * right
+        return None
+    return None
+
+
+def to_predicate(expr: Expr, ctx: ConversionContext) -> Predicate:
+    """Guard predicate of an IF condition; Δ when unsupported (or T2 off)."""
+    if not ctx.if_conditions:
+        return Predicate.unknown()
+    if isinstance(expr, LogicalLit):
+        return Predicate.true() if expr.value else Predicate.false()
+    if isinstance(expr, NameRef):
+        if ctx.table.is_logical(expr.name):
+            return Predicate.boolvar(expr.name)
+        return Predicate.unknown()
+    if isinstance(expr, UnOp) and expr.op == ".not.":
+        return to_predicate(expr.operand, ctx).negate()
+    if isinstance(expr, BinOp):
+        if expr.op == ".and.":
+            return to_predicate(expr.left, ctx) & to_predicate(expr.right, ctx)
+        if expr.op == ".or.":
+            return to_predicate(expr.left, ctx) | to_predicate(expr.right, ctx)
+        if expr.op == ".eqv.":
+            p, q = to_predicate(expr.left, ctx), to_predicate(expr.right, ctx)
+            return (p & q) | (p.negate() & q.negate())
+        if expr.op == ".neqv.":
+            p, q = to_predicate(expr.left, ctx), to_predicate(expr.right, ctx)
+            return (p & q.negate()) | (p.negate() & q)
+        if expr.op in _REL_OPS:
+            integer = is_integer_expr(expr.left, ctx) and is_integer_expr(
+                expr.right, ctx
+            )
+            left = _numeric_side(expr.left, ctx)
+            right = _numeric_side(expr.right, ctx)
+            if left is None or right is None:
+                return Predicate.unknown()
+            rel = {
+                ".eq.": Relation.eq,
+                ".ne.": Relation.ne,
+                ".lt.": Relation.lt,
+                ".le.": Relation.le,
+                ".gt.": Relation.gt,
+                ".ge.": Relation.ge,
+            }[expr.op](left, right, integer)
+            return Predicate.of_atom(rel)
+    return Predicate.unknown()

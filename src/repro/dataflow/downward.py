@@ -1,0 +1,311 @@
+"""Downward-exposed use sets (``DE``), the paper's section 3.2.2 footnote.
+
+The loop-carried anti-dependence formula ``UE_i ∩ MOD_{>i}`` is valid only
+once flow and output dependences are disproved; "if loop-carried anti-
+dependences are considered separately, they should be detected using
+``DE_i`` instead of ``UE_i``, where ``DE_i`` is the *downwards exposed*
+use set of iteration i" — the uses whose element is **not overwritten
+later** in the same iteration.
+
+DE is the temporal mirror of UE, computed by forward propagation (nodes
+in topological order, statements walked forward, writes killing the uses
+accumulated so far).  Two mechanisms make the forward direction as sharp
+as the backward one:
+
+* **edge guards** — contributions leaving an IF condition through its
+  True/False edge are qualified by the condition/negation (mirrors the
+  backward pass), so branch-local kills stay conditional;
+* **reaching guards** — every node carries ``R(n)``, the disjunction over
+  incoming paths of their branch conditions (``R(join after IF) = R(cond)``
+  because ``c ∨ ¬c`` folds to True); accesses *generated* at ``n`` are
+  qualified by ``R(n)``, which the backward pass gets for free by carrying
+  sets through the condition node;
+* **forward value bindings** — scalar definitions bind the variable for
+  all later conversions (a per-path environment, merged at joins with
+  disagreeing values becoming fresh opaques), so the resulting sets are
+  expressed in segment-entry terms exactly like ``UE``.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from ..fortran.ast_nodes import Apply, Assign, NameRef
+from ..hsg.cfg import FlowGraph
+from ..hsg.nodes import (
+    BasicBlockNode,
+    CallNode,
+    CondensedNode,
+    EntryNode,
+    ExitNode,
+    HSGNode,
+    IfConditionNode,
+    LoopNode,
+)
+from ..regions import GARList
+from ..regions.gar_ops import subtract_lists, union_lists
+from ..regions.gar_simplify import simplify_gar_list
+from ..symbolic import Predicate, SymExpr
+from .convert import ConversionContext, to_predicate
+from .expansion import expand_gar_list
+from .summary import Summary, collect_uses, reference_gar, scalar_gar
+from .sum_bb import _scalar_value
+
+Bindings = dict[str, SymExpr]
+
+
+def _merge_bindings(maps: list[Bindings], ctx: ConversionContext) -> Bindings:
+    """Join point: keep agreeing values, opaque out the disagreements."""
+    if not maps:
+        return {}
+    if len(maps) == 1:
+        return dict(maps[0])
+    keys = set()
+    for m in maps:
+        keys |= set(m)
+    merged: Bindings = {}
+    for key in keys:
+        values = {m.get(key, SymExpr.var(key)) for m in maps}
+        if len(values) == 1:
+            merged[key] = values.pop()
+        else:
+            merged[key] = ctx.fresh_opaque(key)
+    return merged
+
+
+def _bound_ctx(ctx: ConversionContext, bindings: Bindings) -> ConversionContext:
+    return ConversionContext(
+        ctx.table,
+        ctx.symbolic,
+        ctx.if_conditions,
+        ctx.active_indices,
+        dict(bindings),
+        ctx.index_array_forms,
+    )
+
+
+def downward_segment(
+    analyzer, graph: FlowGraph, ctx: ConversionContext
+) -> GARList:
+    """DE of a flow subgraph: forward propagation entry → exit."""
+    cmp = analyzer.comparer
+    de_out: dict[HSGNode, GARList] = {}
+    bind_out: dict[HSGNode, Bindings] = {}
+    reach: dict[HSGNode, Predicate] = {}
+    for node in graph.topological():
+        de_above = GARList.empty()
+        incoming_binds: list[Bindings] = []
+        r: Predicate | None = None
+        for pred, label in graph.preds(node):
+            contribution = de_out.get(pred, GARList.empty())
+            r_pred = reach.get(pred, Predicate.true())
+            if isinstance(pred, IfConditionNode) and label is not None:
+                branch = analyzer.condition_predicate(pred, ctx)
+                guard = branch if label else branch.negate()
+                contribution = contribution.and_guard(guard)
+                r_edge = r_pred & guard
+            else:
+                r_edge = r_pred
+            de_above = de_above.union(contribution)
+            incoming_binds.append(bind_out.get(pred, {}))
+            r = r_edge if r is None else (r | r_edge)
+        reach[node] = Predicate.true() if r is None else r
+        de_above = simplify_gar_list(de_above, cmp)
+        bindings = _merge_bindings(incoming_binds, ctx)
+        de_out[node], bind_out[node] = _transfer_forward(
+            analyzer, node, de_above, bindings, reach[node], ctx
+        )
+    if graph.exit not in de_out:
+        raise AnalysisError("flow subgraph without reachable exit")
+    return de_out[graph.exit]
+
+
+def _transfer_forward(
+    analyzer,
+    node: HSGNode,
+    de: GARList,
+    bindings: Bindings,
+    reaching: Predicate,
+    ctx: ConversionContext,
+) -> tuple[GARList, Bindings]:
+    cmp = analyzer.comparer
+    local = _bound_ctx(ctx, bindings)
+    if isinstance(node, (EntryNode, ExitNode)):
+        return de, bindings
+    if isinstance(node, IfConditionNode):
+        uses = collect_uses(node.cond, local).and_guard(reaching)
+        return union_lists(de, uses, cmp), bindings
+    if isinstance(node, BasicBlockNode):
+        for stmt in node.stmts:
+            de, bindings = _statement_forward(
+                analyzer, stmt, de, bindings, reaching, ctx
+            )
+        return de, bindings
+    if isinstance(node, LoopNode):
+        return _loop_forward(analyzer, node, de, bindings, reaching, ctx)
+    if isinstance(node, CallNode):
+        return _call_forward(analyzer, node, de, bindings, reaching, ctx)
+    if isinstance(node, CondensedNode):
+        # conservative: nothing killed, every referenced array maybe used
+        from .sum_segment import _transfer_condensed
+
+        summary = _transfer_condensed(analyzer, node, Summary.empty(), ctx)
+        new_bindings = dict(bindings)
+        for gar in summary.mod:
+            if not ctx.table.is_array(gar.array):
+                new_bindings[gar.array] = ctx.fresh_opaque(gar.array)
+        return union_lists(de, summary.ue.inexact(), cmp), new_bindings
+    raise AnalysisError(f"no forward transfer for {node.kind}")
+
+
+def _statement_forward(
+    analyzer,
+    stmt,
+    de: GARList,
+    bindings: Bindings,
+    reaching: Predicate,
+    ctx: ConversionContext,
+) -> tuple[GARList, Bindings]:
+    from ..fortran.ast_nodes import (
+        CommonStmt,
+        Continue,
+        Declaration,
+        DimensionStmt,
+        IoStmt,
+        MiscDecl,
+        ParameterStmt,
+    )
+
+    cmp = analyzer.comparer
+    local = _bound_ctx(ctx, bindings)
+    if isinstance(stmt, Assign):
+        target = stmt.target
+        # reads happen first: exposed (given reachability) unless a later
+        # write kills them
+        uses = collect_uses(stmt.value, local)
+        if isinstance(target, Apply) and target.is_array:
+            for sub in target.args:
+                uses = uses.union(collect_uses(sub, local))
+            de = union_lists(de, uses.and_guard(reaching), cmp)
+            write = GARList.of(reference_gar(target, local))
+            return subtract_lists(de, write, cmp), bindings
+        de = union_lists(de, uses.and_guard(reaching), cmp)
+        name = target.name
+        value = _scalar_value(stmt, name, local)
+        new_bindings = dict(bindings)
+        new_bindings[name] = value
+        de = subtract_lists(de, GARList.of(scalar_gar(name)), cmp)
+        return de, new_bindings
+    if isinstance(stmt, IoStmt):
+        if stmt.kind == "read":
+            new_bindings = dict(bindings)
+            for item in stmt.items:
+                if isinstance(item, NameRef) and not ctx.table.is_array(
+                    item.name
+                ):
+                    new_bindings[item.name] = ctx.fresh_opaque(item.name)
+                    de = subtract_lists(
+                        de, GARList.of(scalar_gar(item.name)), cmp
+                    )
+            return de, new_bindings
+        for item in stmt.items:
+            de = union_lists(
+                de, collect_uses(item, local).and_guard(reaching), cmp
+            )
+        return de, bindings
+    if isinstance(
+        stmt,
+        (Continue, MiscDecl, Declaration, DimensionStmt, ParameterStmt,
+         CommonStmt),
+    ):
+        return de, bindings
+    raise AnalysisError(f"unexpected statement {type(stmt).__name__}")
+
+
+def _loop_forward(
+    analyzer,
+    loop: LoopNode,
+    de: GARList,
+    bindings: Bindings,
+    reaching: Predicate,
+    ctx: ConversionContext,
+) -> tuple[GARList, Bindings]:
+    cmp = analyzer.comparer
+    local = _bound_ctx(ctx, bindings)
+    record = analyzer.loop_summary(loop, local)
+    loop_de = analyzer.loop_de(loop, local)
+    # the loop bounds are read on entry
+    for expr in (loop.start, loop.stop, loop.step):
+        if expr is not None:
+            de = union_lists(
+                de, collect_uses(expr, local).and_guard(reaching), cmp
+            )
+    de = subtract_lists(de, record.mod, cmp)
+    # scalars assigned in the loop have unknown values afterwards
+    new_bindings = dict(bindings)
+    for gar in record.mod:
+        if not ctx.table.is_array(gar.array):
+            new_bindings[gar.array] = ctx.fresh_opaque(gar.array)
+    new_bindings[loop.var] = ctx.fresh_opaque(loop.var)
+    return union_lists(de, loop_de.and_guard(reaching), cmp), new_bindings
+
+
+def _call_forward(
+    analyzer,
+    node: CallNode,
+    de: GARList,
+    bindings: Bindings,
+    reaching: Predicate,
+    ctx: ConversionContext,
+) -> tuple[GARList, Bindings]:
+    from .sum_call import _map_to_actuals, _opaque_call
+
+    cmp = analyzer.comparer
+    local = _bound_ctx(ctx, bindings)
+    callee = node.callee
+    known = callee in analyzer.hsg.analyzed.unit_names()
+    if not analyzer.options.interprocedural or not known:
+        effect = _opaque_call(node, local)
+        call_de = effect.ue.inexact()  # everything it may read, maybe exposed
+        call_mod = effect.mod
+    else:
+        callee_de = analyzer.routine_de(callee)
+        mapped = _map_to_actuals(
+            analyzer,
+            Summary(analyzer.routine_summary(callee).mod, callee_de),
+            node,
+            local,
+        )
+        call_de = mapped.ue
+        call_mod = mapped.mod
+    de = subtract_lists(de, call_mod, cmp)
+    new_bindings = dict(bindings)
+    for gar in call_mod:
+        if not ctx.table.is_array(gar.array):
+            new_bindings[gar.array] = ctx.fresh_opaque(gar.array)
+    return union_lists(de, call_de.and_guard(reaching), cmp), new_bindings
+
+
+def loop_de_sets(
+    analyzer, loop: LoopNode, ctx: ConversionContext
+) -> tuple[GARList, GARList]:
+    """``(DE_i, DE)`` of a loop: per-iteration and whole-loop downward
+    exposure (the latter subtracts later iterations' writes and expands)."""
+    from .sum_loop import fix_varying_lists
+
+    cmp = analyzer.comparer
+    inner_ctx = ctx.with_index(loop.var)
+    de_i = downward_segment(analyzer, loop.body, inner_ctx)
+    record = analyzer.loop_summary(loop, ctx)
+    (de_i,) = fix_varying_lists(
+        analyzer, loop, record.mod_i, [de_i], inner_ctx,
+        record.lo, record.step,
+        allow_induction=not record.negative_step,
+    )
+    de_out = subtract_lists(de_i, record.mod_gt, cmp)
+    de = expand_gar_list(
+        de_out, loop.var, record.lo, record.hi, record.step, cmp
+    )
+    if loop.has_premature_exit or record.negative_step:
+        de = de.inexact()
+        de_i = de_i.inexact()
+    return de_i, de

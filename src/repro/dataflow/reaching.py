@@ -1,0 +1,208 @@
+"""Scalar reaching-definition chains over the HSG.
+
+The paper builds its array dataflow "upon the interprocedural scalar
+reaching-definition chains and the Hierarchical Supergraph" (section 6,
+citing Li '93).  The summary algorithms in this package perform scalar
+value propagation *on the fly* instead (substitution during backward
+propagation), so reaching definitions are not on the analysis' critical
+path — but they remain the right tool for diagnostics ("which definitions
+can this use see?") and for clients that want classic def-use chains.
+
+This module computes, per flow subgraph, the may-reaching definition sets
+at every node entry (a forward union/kill analysis; one topological pass
+suffices on the HSG's DAGs), with loop, call, and condensed nodes
+contributing summary definition sites for every scalar they may write.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..fortran.ast_nodes import Apply, Assign, IoStmt, NameRef
+from ..hsg.cfg import FlowGraph
+from ..hsg.nodes import (
+    BasicBlockNode,
+    CallNode,
+    CondensedNode,
+    HSGNode,
+    IfConditionNode,
+    LoopNode,
+)
+from ..symbolic import SymExpr
+from .convert import ConversionContext, to_symexpr
+
+
+class DefKind(enum.Enum):
+    """How a scalar definition site came to be."""
+
+    ENTRY = "entry"  # value on entry to the segment (no definition seen)
+    ASSIGN = "assign"
+    LOOP_INDEX = "loop-index"
+    LOOP_BODY = "loop-body"  # assigned somewhere inside a loop
+    CALL = "call"
+    READ = "read"  # Fortran READ statement
+    CYCLE = "cycle"  # inside a condensed GOTO cycle
+
+
+@dataclass(frozen=True)
+class ScalarDef:
+    """One definition site of a scalar variable."""
+
+    name: str
+    kind: DefKind
+    #: the HSG node containing the definition (None for ENTRY)
+    node_id: Optional[int]
+    #: source line when known
+    lineno: int = 0
+    #: the defined symbolic value, when representable
+    value: Optional[SymExpr] = None
+
+    def __str__(self) -> str:
+        where = f"node {self.node_id}" if self.node_id is not None else "entry"
+        val = f" = {self.value}" if self.value is not None else ""
+        return f"{self.name}@{where}[{self.kind.value}]{val}"
+
+
+@dataclass
+class ReachingDefinitions:
+    """Reaching-definition sets at every node entry of one flow subgraph."""
+
+    graph: FlowGraph
+    #: node -> name -> definitions that may reach the node's entry
+    at_entry: dict[HSGNode, dict[str, frozenset[ScalarDef]]] = field(
+        default_factory=dict
+    )
+
+    def reaching(self, node: HSGNode, name: str) -> frozenset[ScalarDef]:
+        """Definitions of *name* that may reach *node*'s entry.
+
+        An empty result means the variable is certainly still at its
+        segment-entry value there (reported as a single ENTRY def).
+        """
+        defs = self.at_entry.get(node, {}).get(name)
+        if defs:
+            return defs
+        return frozenset({ScalarDef(name, DefKind.ENTRY, None)})
+
+    def unique_value(self, node: HSGNode, name: str) -> Optional[SymExpr]:
+        """The single symbolic value of *name* at *node*, if all reaching
+        definitions agree on one; ``None`` otherwise."""
+        defs = self.reaching(node, name)
+        values = {d.value for d in defs}
+        if len(values) == 1:
+            (value,) = values
+            return value
+        return None
+
+
+def _node_definitions(
+    node: HSGNode, ctx: ConversionContext
+) -> list[ScalarDef]:
+    """Definition sites a node generates (kills are total per name)."""
+    out: list[ScalarDef] = []
+    if isinstance(node, BasicBlockNode):
+        for stmt in node.stmts:
+            if isinstance(stmt, Assign) and isinstance(stmt.target, NameRef):
+                value = to_symexpr(stmt.value, ctx)
+                out.append(
+                    ScalarDef(
+                        stmt.target.name,
+                        DefKind.ASSIGN,
+                        node.node_id,
+                        stmt.lineno,
+                        value,
+                    )
+                )
+            elif isinstance(stmt, IoStmt) and stmt.kind == "read":
+                for item in stmt.items:
+                    if isinstance(item, NameRef) and not ctx.table.is_array(
+                        item.name
+                    ):
+                        out.append(
+                            ScalarDef(
+                                item.name, DefKind.READ, node.node_id,
+                                stmt.lineno,
+                            )
+                        )
+    elif isinstance(node, LoopNode):
+        out.append(
+            ScalarDef(node.var, DefKind.LOOP_INDEX, node.node_id, node.lineno)
+        )
+        for name in sorted(_scalars_assigned_in(node.body, ctx)):
+            out.append(
+                ScalarDef(name, DefKind.LOOP_BODY, node.node_id, node.lineno)
+            )
+    elif isinstance(node, CallNode):
+        for arg in node.call.args:
+            if isinstance(arg, NameRef) and not ctx.table.is_array(arg.name):
+                out.append(
+                    ScalarDef(
+                        arg.name, DefKind.CALL, node.node_id,
+                        node.call.lineno,
+                    )
+                )
+        for names in ctx.table.commons.values():
+            for name in names:
+                if not ctx.table.is_array(name):
+                    out.append(
+                        ScalarDef(name, DefKind.CALL, node.node_id)
+                    )
+    elif isinstance(node, CondensedNode):
+        for member in node.members:
+            for d in _node_definitions(member, ctx):
+                out.append(
+                    ScalarDef(d.name, DefKind.CYCLE, node.node_id, d.lineno)
+                )
+    return out
+
+
+def _scalars_assigned_in(graph: FlowGraph, ctx: ConversionContext) -> set[str]:
+    out: set[str] = set()
+    for node in graph.nodes:
+        for d in _node_definitions(node, ctx):
+            out.add(d.name)
+    return out
+
+
+def compute_reaching(
+    graph: FlowGraph, ctx: ConversionContext
+) -> ReachingDefinitions:
+    """One-pass forward reaching-definitions over a DAG flow subgraph.
+
+    A basic block kills every earlier definition of the scalars it
+    assigns unconditionally (the last definition in the block wins);
+    loop/call/condensed nodes generate *may* definitions that merge with
+    incoming ones only when the write is not guaranteed — conservatively,
+    loop-body and call definitions do not kill (zero-trip loops, callee
+    RETURN paths), while loop-index and plain assignments do.
+    """
+    result = ReachingDefinitions(graph)
+    at_exit: dict[HSGNode, dict[str, frozenset[ScalarDef]]] = {}
+    for node in graph.topological():
+        merged: dict[str, set[ScalarDef]] = {}
+        for pred, _ in graph.preds(node):
+            for name, defs in at_exit.get(pred, {}).items():
+                merged.setdefault(name, set()).update(defs)
+        entry = {name: frozenset(defs) for name, defs in merged.items()}
+        result.at_entry[node] = entry
+        out: dict[str, frozenset[ScalarDef]] = dict(entry)
+        for definition in _node_definitions(node, ctx):
+            kills = definition.kind in (DefKind.ASSIGN, DefKind.READ,
+                                        DefKind.LOOP_INDEX)
+            if kills:
+                out[definition.name] = frozenset({definition})
+            else:
+                out[definition.name] = out.get(
+                    definition.name, frozenset()
+                ) | {definition}
+        at_exit[node] = out
+    return result
+
+
+def reaching_for_unit(analyzer, unit_name: str) -> ReachingDefinitions:
+    """Reaching definitions of a routine's top-level flow subgraph."""
+    return compute_reaching(
+        analyzer.hsg.graph(unit_name), analyzer.context_for(unit_name)
+    )

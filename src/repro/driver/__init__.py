@@ -1,0 +1,18 @@
+"""End-to-end pipeline, reporting, and CLI."""
+
+from .panorama import (
+    CompilationResult,
+    LoopReport,
+    Panorama,
+    StageTimings,
+)
+from .report import format_table, yes_no
+
+__all__ = [
+    "CompilationResult",
+    "LoopReport",
+    "Panorama",
+    "StageTimings",
+    "format_table",
+    "yes_no",
+]

@@ -1,0 +1,125 @@
+"""Command-line interface: ``panorama [options] file.f``.
+
+Runs the full pipeline on a Fortran source file and prints the per-loop
+verdicts, optionally with loop summaries, the HSG, and technique
+ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..dataflow import AnalysisOptions
+from .panorama import Panorama
+from .report import format_table, yes_no
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The panorama CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="panorama",
+        description=(
+            "Symbolic array dataflow analysis for array privatization and "
+            "loop parallelization (reproduction of Gu, Li & Lee, SC'95)."
+        ),
+    )
+    parser.add_argument("source", help="Fortran source file ('-' for stdin)")
+    parser.add_argument(
+        "--ablate",
+        choices=["T1", "T2", "T3"],
+        action="append",
+        default=[],
+        help="disable a technique (repeatable): T1 symbolic, "
+        "T2 IF conditions, T3 interprocedural",
+    )
+    parser.add_argument(
+        "--no-fm",
+        action="store_true",
+        help="disable the Fourier-Motzkin fallback prover",
+    )
+    parser.add_argument(
+        "--summaries",
+        action="store_true",
+        help="print MOD/UE loop summaries for every analyzed loop",
+    )
+    parser.add_argument(
+        "--dump-hsg", action="store_true", help="print the HSG of every routine"
+    )
+    parser.add_argument(
+        "--no-machine",
+        action="store_true",
+        help="skip cost/speedup estimation",
+    )
+    parser.add_argument(
+        "--emit",
+        choices=["omp", "sgi"],
+        help="print the program annotated with parallelization directives",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_arg_parser().parse_args(argv)
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        source = Path(args.source).read_text()
+
+    options = AnalysisOptions(
+        symbolic="T1" not in args.ablate,
+        if_conditions="T2" not in args.ablate,
+        interprocedural="T3" not in args.ablate,
+        use_fm=not args.no_fm,
+    )
+    panorama = Panorama(options, run_machine_model=not args.no_machine)
+    result = panorama.compile(source)
+
+    if args.dump_hsg:
+        for unit in result.program.units:
+            print(f"--- HSG of {unit.name} ---")
+            print(result.hsg.graph(unit.name).dump())
+            print()
+
+    rows = []
+    for report in result.loops:
+        rows.append(
+            [
+                report.loop_id(),
+                report.var,
+                report.status.value,
+                yes_no(report.used_dataflow),
+                ", ".join(report.verdict.privatized) if report.verdict else "",
+                ", ".join(report.verdict.reductions) if report.verdict else "",
+                f"{report.speedup:.1f}x" if report.parallel else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["loop", "index", "status", "dataflow", "privatized",
+             "reductions", "est. speedup"],
+            rows,
+            title=f"Panorama verdicts ({Path(str(args.source)).name})",
+        )
+    )
+    print()
+    print(result.summary_line())
+
+    if args.summaries:
+        for report in result.loops:
+            if report.verdict and report.verdict.record:
+                print()
+                print(report.verdict.record)
+
+    if args.emit:
+        from ..codegen import annotate
+
+        print()
+        print(annotate(result, style=args.emit))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

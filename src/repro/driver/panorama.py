@@ -1,0 +1,226 @@
+"""The end-to-end Panorama pipeline.
+
+Mirrors the structure the paper describes in section 6: parse → build the
+HSG → try the cheap conventional dependence tests on each loop → apply
+the expensive symbolic array dataflow analysis only to loops the
+conventional tests cannot resolve → privatize/classify → (optionally)
+estimate speedups with the machine model.
+
+Per-stage wall-clock timings are recorded for the Figure 4 reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..dataflow import AnalysisOptions, SummaryAnalyzer
+from ..deptest.ddg import ScreenReport, ScreenVerdict, screen_loop
+from ..fortran import AnalyzedProgram, Program, analyze, parse_program
+from ..hsg import HSG, LoopNode, build_hsg
+from ..machine.costmodel import CostModel, LoopCost, ProgramCost
+from ..machine.speedup import MachineModel
+from ..parallelize import LoopStatus, LoopVerdict, classify_loop
+from ..privatize.liveness import CopyOutDecision, copy_out_needed
+
+
+@dataclass
+class LoopReport:
+    """Everything the pipeline learned about one loop."""
+
+    routine: str
+    var: str
+    source_label: Optional[int]
+    lineno: int
+    screen: ScreenReport
+    #: None when the conventional tests already resolved the loop
+    verdict: Optional[LoopVerdict]
+    status: LoopStatus
+    used_dataflow: bool
+    cost: Optional[LoopCost] = None
+    speedup: float = 1.0
+    pct_sequential: float = 0.0
+    #: last-value copy-out decisions for the privatized arrays (3.2.1)
+    copy_out: list[CopyOutDecision] = field(default_factory=list)
+
+    @property
+    def parallel(self) -> bool:
+        return self.status is not LoopStatus.SERIAL
+
+    def loop_id(self) -> str:
+        """Display id like ``"interf/1000"``."""
+        return f"{self.routine}/{self.source_label or self.var}"
+
+
+@dataclass
+class StageTimings:
+    """Per-stage wall-clock seconds (Figure 4 instrumentation)."""
+
+    parse: float = 0.0
+    frontend: float = 0.0  # semantics + call graph + HSG
+    conventional: float = 0.0
+    dataflow: float = 0.0
+    machine: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.parse
+            + self.frontend
+            + self.conventional
+            + self.dataflow
+            + self.machine
+        )
+
+
+@dataclass
+class CompilationResult:
+    program: Program
+    analyzed: AnalyzedProgram
+    hsg: HSG
+    analyzer: SummaryAnalyzer
+    loops: list[LoopReport] = field(default_factory=list)
+    timings: StageTimings = field(default_factory=StageTimings)
+    cost: Optional[ProgramCost] = None
+
+    def loop(self, routine: str, label: int | None) -> LoopReport:
+        """Look up one loop's report by routine and label."""
+        for report in self.loops:
+            if report.routine == routine and report.source_label == label:
+                return report
+        raise KeyError(f"{routine}/{label}")
+
+    def parallel_loops(self) -> list[LoopReport]:
+        """Reports of the loops found parallel."""
+        return [r for r in self.loops if r.parallel]
+
+    def summary_line(self) -> str:
+        """One-line result summary."""
+        par = len(self.parallel_loops())
+        return (
+            f"{par}/{len(self.loops)} loops parallel "
+            f"({self.timings.total * 1000:.1f} ms analysis)"
+        )
+
+
+class Panorama:
+    """Facade: the prototyping parallelizing analyzer of the paper."""
+
+    def __init__(
+        self,
+        options: AnalysisOptions | None = None,
+        sizes: Mapping[str, int] | None = None,
+        machine: MachineModel | None = None,
+        run_conventional: bool = True,
+        run_machine_model: bool = True,
+    ) -> None:
+        self.options = options or AnalysisOptions()
+        self.sizes = dict(sizes or {})
+        self.machine = machine or MachineModel()
+        self.run_conventional = run_conventional
+        self.run_machine_model = run_machine_model
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def compile(self, source: str) -> CompilationResult:
+        """Run the full pipeline on Fortran source text."""
+        timings = StageTimings()
+        t0 = time.perf_counter()
+        program = parse_program(source)
+        timings.parse = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        analyzed = analyze(program)
+        hsg = build_hsg(analyzed)
+        timings.frontend = time.perf_counter() - t0
+
+        analyzer = SummaryAnalyzer(hsg, self.options)
+        result = CompilationResult(program, analyzed, hsg, analyzer, timings=timings)
+
+        for unit_name, loop in hsg.all_loops():
+            report = self._process_loop(analyzer, unit_name, loop, timings)
+            result.loops.append(report)
+
+        if self.run_machine_model:
+            t0 = time.perf_counter()
+            self._apply_machine_model(result)
+            timings.machine = time.perf_counter() - t0
+        return result
+
+    def _process_loop(
+        self,
+        analyzer: SummaryAnalyzer,
+        unit_name: str,
+        loop: LoopNode,
+        timings: StageTimings,
+    ) -> LoopReport:
+        ctx = analyzer.context_for(unit_name)
+        for idx in analyzer._enclosing_indices(unit_name, loop):
+            ctx = ctx.with_index(idx)
+        t0 = time.perf_counter()
+        if self.run_conventional:
+            screen = screen_loop(loop, ctx, analyzer.comparer)
+        else:
+            screen = ScreenReport(ScreenVerdict.POSSIBLE_DEPENDENCE)
+        timings.conventional += time.perf_counter() - t0
+
+        if (
+            screen.verdict is ScreenVerdict.INDEPENDENT
+            and not loop.has_premature_exit
+        ):
+            return LoopReport(
+                routine=unit_name,
+                var=loop.var,
+                source_label=loop.source_label,
+                lineno=loop.lineno,
+                screen=screen,
+                verdict=None,
+                status=LoopStatus.PARALLEL,
+                used_dataflow=False,
+            )
+        t0 = time.perf_counter()
+        verdict = classify_loop(analyzer, unit_name, loop)
+        copy_out: list[CopyOutDecision] = []
+        if verdict.privatized and verdict.record is not None:
+            below = analyzer.below_summary(unit_name, loop)
+            table = analyzer.hsg.analyzed.table(unit_name)
+            for name in verdict.privatized:
+                if not table.is_array(name):
+                    continue
+                copy_out.append(
+                    copy_out_needed(
+                        name,
+                        verdict.record.mod,
+                        below.ue,
+                        analyzer.comparer,
+                    )
+                )
+        timings.dataflow += time.perf_counter() - t0
+        return LoopReport(
+            routine=unit_name,
+            var=loop.var,
+            source_label=loop.source_label,
+            lineno=loop.lineno,
+            screen=screen,
+            verdict=verdict,
+            status=verdict.status,
+            used_dataflow=True,
+            copy_out=copy_out,
+        )
+
+    def _apply_machine_model(self, result: CompilationResult) -> None:
+        model = CostModel(result.analyzed, self.sizes)
+        cost = model.program_cost()
+        result.cost = cost
+        by_key: dict[tuple[str, Optional[int], int], LoopCost] = {}
+        for lc in cost.loops:
+            by_key[(lc.routine, lc.source_label, lc.lineno)] = lc
+        for report in result.loops:
+            lc = by_key.get((report.routine, report.source_label, report.lineno))
+            if lc is None:
+                continue
+            report.cost = lc
+            report.pct_sequential = cost.percent_of_sequential(lc)
+            if report.parallel:
+                report.speedup = self.machine.loop_speedup(lc)

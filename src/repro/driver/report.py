@@ -1,0 +1,41 @@
+"""Plain-text table formatting for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(
+                cell.ljust(w) for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def yes_no(flag: bool) -> str:
+    """Render a flag as ``"Yes"``/``"No"``."""
+    return "Yes" if flag else "No"
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Format a float with fixed digits."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Panorama reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError`` etc.).  The frontend, symbolic engine, and analysis
+layers each have their own subclass so test suites can assert on the layer
+that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SourceError(ReproError):
+    """Problem with raw Fortran source text (bad continuation, etc.)."""
+
+
+class LexError(SourceError):
+    """Tokenizer failure, carries the line/column of the offending text."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, col {col})")
+        self.line = line
+        self.col = col
+
+
+class ParseError(SourceError):
+    """Parser failure, carries the line of the offending statement."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"{message} (line {line})")
+        self.line = line
+
+
+class SemanticError(ReproError):
+    """Symbol table / declaration inconsistency."""
+
+
+class CallGraphError(SemanticError):
+    """Recursive or unresolved call structure (the analysis requires an
+    acyclic call graph, paper section 4)."""
+
+
+class SymbolicError(ReproError):
+    """Unsupported symbolic manipulation (e.g. division with remainder)."""
+
+
+class RegionError(ReproError):
+    """Ill-formed array region or region operation between different arrays."""
+
+
+class HSGError(ReproError):
+    """Hierarchical supergraph construction failure."""
+
+
+class AnalysisError(ReproError):
+    """Dataflow summary computation failure."""

@@ -1,0 +1,102 @@
+"""Cycle condensation for backward GOTOs (paper section 5.4).
+
+DO-loop back edges never appear in the HSG (loop bodies are separate
+subgraphs), so the only cycles in a flow subgraph come from backward
+GOTOs.  Each strongly connected component with more than one node (or a
+self-loop) is collapsed into a single :class:`~repro.hsg.nodes.CondensedNode`
+whose dataflow summary is conservatively approximated (every array
+referenced inside is treated as wholly read and written).
+"""
+
+from __future__ import annotations
+
+from .cfg import FlowGraph
+from .nodes import CondensedNode, HSGNode
+
+
+def _tarjan_sccs(graph: FlowGraph) -> list[list[HSGNode]]:
+    """Tarjan's algorithm, iterative to survive deep graphs."""
+    index: dict[HSGNode, int] = {}
+    lowlink: dict[HSGNode, int] = {}
+    on_stack: set[HSGNode] = set()
+    stack: list[HSGNode] = []
+    sccs: list[list[HSGNode]] = []
+    counter = [0]
+
+    for root in list(graph.nodes):
+        if root in index:
+            continue
+        work: list[tuple[HSGNode, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = [d for d, _ in graph.succs(node)]
+            for i in range(child_idx, len(succs)):
+                succ = succs[i]
+                if succ not in index:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                scc: list[HSGNode] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member is node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def condense_cycles(graph: FlowGraph) -> int:
+    """Collapse every non-trivial SCC into a CondensedNode.
+
+    Returns the number of condensations performed.  After this the graph
+    is guaranteed to be a DAG.
+    """
+    count = 0
+    while True:
+        sccs = _tarjan_sccs(graph)
+        nontrivial = [
+            scc
+            for scc in sccs
+            if len(scc) > 1
+            or any(d is scc[0] for d, _ in graph.succs(scc[0]))
+        ]
+        if not nontrivial:
+            break
+        for scc in nontrivial:
+            members = set(scc)
+            condensed = CondensedNode(list(scc))
+            graph.add_node(condensed)
+            incoming: list[tuple[HSGNode, object]] = []
+            outgoing: list[tuple[HSGNode, object]] = []
+            for member in scc:
+                for src, label in graph.preds(member):
+                    if src not in members:
+                        incoming.append((src, label))
+                for dst, label in graph.succs(member):
+                    if dst not in members:
+                        outgoing.append((dst, label))
+            for member in scc:
+                graph.remove_node(member)
+            for src, label in incoming:
+                graph.add_edge(src, condensed, label)  # type: ignore[arg-type]
+            for dst, _label in outgoing:
+                graph.add_edge(condensed, dst, None)
+            count += 1
+    return count

@@ -1,0 +1,127 @@
+"""HSG node kinds (paper section 4).
+
+The HSG contains basic blocks, loop nodes, and call nodes; an IF condition
+forms a basic block of its own (:class:`IfConditionNode`).  Cycles caused
+by backward GOTOs are condensed into :class:`CondensedNode`\\ s so every
+flow subgraph is a DAG.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..fortran.ast_nodes import CallStmt, Expr, Stmt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cfg import FlowGraph
+
+_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class HSGNode:
+    """Base class; nodes are identity-hashed graph vertices."""
+
+    node_id: int = field(default_factory=lambda: next(_ids), init=False)
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        """Short human-readable label for dumps."""
+        return f"{self.kind}#{self.node_id}"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(eq=False)
+class EntryNode(HSGNode):
+    """Unique entry of a flow subgraph."""
+
+
+@dataclass(eq=False)
+class ExitNode(HSGNode):
+    """Unique exit of a flow subgraph."""
+
+
+@dataclass(eq=False)
+class BasicBlockNode(HSGNode):
+    """A maximal straight-line sequence of simple statements."""
+
+    stmts: list[Stmt] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Short human-readable label for dumps."""
+        inner = "; ".join(str(s) for s in self.stmts[:3])
+        if len(self.stmts) > 3:
+            inner += "; ..."
+        return f"BB#{self.node_id}[{inner}]"
+
+
+@dataclass(eq=False)
+class IfConditionNode(HSGNode):
+    """An IF condition — its own basic block, with True/False out-edges."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    lineno: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable label for dumps."""
+        return f"IF#{self.node_id}({self.cond})"
+
+
+@dataclass(eq=False)
+class LoopNode(HSGNode):
+    """A DO loop: a compound node with an attached body subgraph.
+
+    The back edge is deliberately absent from ``body`` (paper section 4).
+    """
+
+    var: str = ""
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None
+    body: "FlowGraph" = None  # type: ignore[assignment]
+    lineno: int = 0
+    #: source identification for reports, e.g. "interf/1000"
+    source_label: Optional[int] = None
+    #: GOTO jumps out of the loop exist (conservative handling, 5.4)
+    has_premature_exit: bool = False
+
+    def describe(self) -> str:
+        """Short human-readable label for dumps."""
+        return f"DO#{self.node_id} {self.var}={self.start},{self.stop}"
+
+
+@dataclass(eq=False)
+class CallNode(HSGNode):
+    """A CALL statement, linked to the callee's flow subgraph."""
+
+    call: CallStmt = None  # type: ignore[assignment]
+
+    @property
+    def callee(self) -> str:
+        return self.call.name
+
+    def describe(self) -> str:
+        """Short human-readable label for dumps."""
+        return f"CALL#{self.node_id} {self.call.name}"
+
+
+@dataclass(eq=False)
+class CondensedNode(HSGNode):
+    """A condensed backward-GOTO cycle (paper section 5.4).
+
+    Its summary is conservatively approximated: every array referenced in
+    the condensed statements is treated as wholly read and written (Ω).
+    """
+
+    members: list[HSGNode] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Short human-readable label for dumps."""
+        return f"CYCLE#{self.node_id}({len(self.members)} nodes)"

@@ -1,0 +1,27 @@
+"""Benchmark kernels: the paper's Figure 1 examples and faithful
+re-creations of the Perfect-club loops of Tables 1 and 2.
+
+Each kernel is a complete Fortran program built from the loop structure
+the paper describes (routine and loop labels preserved), scaled by the
+``sizes`` environment for the cost model.  ``techniques`` lists which of
+the paper's T1 (symbolic) / T2 (IF conditions) / T3 (interprocedural)
+columns are marked "Yes" in Table 1 — i.e. which ablations must break the
+loop's privatization.
+"""
+
+from .registry import KERNELS, Kernel, get_kernel, kernels_for_program
+from . import arc2d, figure1, mdg, ocean, synthetic, track, trfd
+
+__all__ = [
+    "KERNELS",
+    "Kernel",
+    "arc2d",
+    "figure1",
+    "get_kernel",
+    "kernels_for_program",
+    "mdg",
+    "ocean",
+    "synthetic",
+    "track",
+    "trfd",
+]

@@ -1,0 +1,199 @@
+"""ARC2D — routines ``filerx`` (loop 15), ``filery`` (loop 39),
+``stepfx`` (loop 300), ``stepfy`` (loop 420).
+
+* ``filerx/15`` is Figure 1(b) verbatim: the WORK array's extra write is
+  guarded by a loop-invariant condition — T1 (symbolic window bounds) and
+  T2 (the invariant guard), no calls.
+* ``filery/39`` is the same filter without the conditional write: T1 only.
+* ``stepfx/300`` / ``stepfy/420`` fill WORK inside one callee and consume
+  it inside another with symbolic extents: T1 and T3, no IF conditions —
+  exactly Table 1's unusual "T2 = No" interprocedural rows.
+
+The paper's speedups for ARC2D are estimates from the maximal number of
+parallel iterations (its note 1); ours come from the same machine model
+as the rest.
+"""
+
+from .registry import Kernel, register
+
+SOURCE = """
+      PROGRAM arc2d
+      REAL Q(20000), RES(2000)
+      INTEGER jdim, kdim, jlow, jup, jmax, j
+      LOGICAL prd
+      jdim = 100
+      kdim = 80
+      jlow = 2
+      jup = 440
+      jmax = 500
+      prd = .FALSE.
+      DO j = 1, 5600
+        Q(j) = 0.01 * j
+        Q(j) = Q(j) * Q(j) + 0.5
+      ENDDO
+      call filerx(Q, RES, jlow, jup, jmax, prd, 4)
+      call filery(Q, RES, jlow, jup, 4)
+      call stepfx(Q, RES, 1050, 3)
+      call stepfy(Q, RES, 620, 3)
+      END
+
+      SUBROUTINE filerx(Q, RES, jlow, jup, jmax, prd, kfil)
+      REAL Q(20000), RES(2000)
+      INTEGER jlow, jup, jmax, kfil
+      LOGICAL prd
+      REAL WORK(2000)
+      REAL acc
+      INTEGER k, j
+      DO 15 k = 1, kfil
+        DO j = jlow, jup
+          WORK(j) = Q(j) * 0.5 + Q(j+1) * 0.25
+        ENDDO
+        IF (.NOT. prd) THEN
+          WORK(jmax) = Q(jmax)
+        ENDIF
+        acc = 0.0
+        DO j = jlow, jup
+          acc = acc + WORK(j) + WORK(jmax)
+        ENDDO
+        RES(k) = acc
+ 15   CONTINUE
+      END
+
+      SUBROUTINE filery(Q, RES, jlow, jup, kfil)
+      REAL Q(20000), RES(2000)
+      INTEGER jlow, jup, kfil
+      REAL WORK(2000)
+      REAL acc
+      INTEGER k, j
+      DO 39 k = 1, kfil
+        DO j = jlow, jup
+          WORK(j) = Q(j) - Q(j+1)
+        ENDDO
+        acc = 0.0
+        DO j = jlow, jup
+          acc = acc + WORK(j) * WORK(j)
+        ENDDO
+        RES(k) = acc + RES(k)
+ 39   CONTINUE
+      END
+
+      SUBROUTINE stepfx(Q, RES, jdim, kstp)
+      REAL Q(20000), RES(2000)
+      INTEGER jdim, kstp
+      REAL WORK(2000)
+      INTEGER k
+      DO 300 k = 1, kstp
+        call xfilt(WORK, Q, jdim, k)
+        call xsum(WORK, RES, jdim, k)
+ 300  CONTINUE
+      END
+
+      SUBROUTINE stepfy(Q, RES, jdm2, kstp)
+      REAL Q(20000), RES(2000)
+      INTEGER jdm2, kstp
+      REAL WORK(2000)
+      INTEGER k
+      DO 420 k = 1, kstp
+        call yfilt(WORK, Q, jdm2, k)
+        call ysum(WORK, RES, jdm2, k)
+ 420  CONTINUE
+      END
+
+      SUBROUTINE xfilt(W, Q, jdim, krow)
+      REAL W(2000), Q(20000)
+      INTEGER jdim, krow, j
+      DO j = 1, jdim
+        W(j) = Q(j) + 0.125 * krow
+      ENDDO
+      END
+
+      SUBROUTINE yfilt(W, Q, jdm2, krow)
+      REAL W(2000), Q(20000)
+      INTEGER jdm2, krow, j
+      DO j = 1, jdm2
+        W(j) = Q(j) - 0.125 * krow
+      ENDDO
+      END
+
+      SUBROUTINE xsum(W, RES, jdim, krow)
+      REAL W(2000), RES(2000)
+      INTEGER jdim, krow, j
+      REAL s
+      s = 0.0
+      DO j = 1, jdim
+        s = s + W(j)
+      ENDDO
+      RES(krow) = s
+      END
+
+      SUBROUTINE ysum(W, RES, jdm2, krow)
+      REAL W(2000), RES(2000)
+      INTEGER jdm2, krow, j
+      REAL s
+      s = 0.0
+      DO j = 1, jdm2
+        s = s + W(j) * W(j)
+      ENDDO
+      RES(krow) = RES(krow) + s
+      END
+"""
+
+FILERX_15 = register(
+    Kernel(
+        program="ARC2D",
+        routine="filerx",
+        loop_label=15,
+        source=SOURCE,
+        privatizable=("work",),
+        techniques=("T1", "T2"),
+        paper_speedup=4.0,
+        paper_pct_seq=7.0,
+        sizes={"jdim": 1050, "jdm2": 620, "kfil": 4, "kstp": 3, "jlow": 2, "jup": 170, "jmax": 500},
+        speedup_estimated=True,
+    )
+)
+
+FILERY_39 = register(
+    Kernel(
+        program="ARC2D",
+        routine="filery",
+        loop_label=39,
+        source=SOURCE,
+        privatizable=("work",),
+        techniques=("T1",),
+        paper_speedup=4.0,
+        paper_pct_seq=7.0,
+        sizes={"jdim": 1050, "jdm2": 620, "kfil": 4, "kstp": 3, "jlow": 2, "jup": 170, "jmax": 500},
+        speedup_estimated=True,
+    )
+)
+
+STEPFX_300 = register(
+    Kernel(
+        program="ARC2D",
+        routine="stepfx",
+        loop_label=300,
+        source=SOURCE,
+        privatizable=("work",),
+        techniques=("T1", "T3"),
+        paper_speedup=3.0,
+        paper_pct_seq=21.0,
+        sizes={"jdim": 1050, "jdm2": 620, "kfil": 4, "kstp": 3, "jlow": 2, "jup": 170, "jmax": 500},
+        speedup_estimated=True,
+    )
+)
+
+STEPFY_420 = register(
+    Kernel(
+        program="ARC2D",
+        routine="stepfy",
+        loop_label=420,
+        source=SOURCE,
+        privatizable=("work",),
+        techniques=("T1", "T3"),
+        paper_speedup=3.0,
+        paper_pct_seq=16.0,
+        sizes={"jdim": 1050, "jdm2": 620, "kfil": 4, "kstp": 3, "jlow": 2, "jup": 170, "jmax": 500},
+        speedup_estimated=True,
+    )
+)

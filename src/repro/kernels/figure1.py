@@ -1,0 +1,86 @@
+"""The paper's Figure 1 examples as standalone programs.
+
+These are the pedagogical versions: (a) the MDG ``interf`` fragment whose
+array ``A`` (really ``RL``) needs inference between IF conditions and is
+*not* privatized by the implementation; (b) the ARC2D ``filerx`` fragment
+with a loop-invariant IF condition; (c) the OCEAN fragment needing
+interprocedural MOD/UE with complementary conditions.
+"""
+
+FIGURE_1A = """
+      SUBROUTINE interf(A, B, nmol1, cut2)
+      REAL A(20), B(20), cut2
+      REAL ttemp
+      INTEGER nmol1, kc, K, I
+      DO I = 1, nmol1
+        kc = 0
+        DO K = 1, 9
+          B(K) = 1.5 * K
+          IF (B(K) .GT. cut2) kc = kc + 1
+        ENDDO
+        DO K = 2, 5
+          IF (B(K+4) .GT. cut2) GOTO 1
+          A(K+4) = B(K)
+ 1      ENDDO
+        IF (kc .NE. 0) GOTO 2
+        DO K = 11, 14
+          ttemp = 2.0 * A(K-5)
+        ENDDO
+ 2      CONTINUE
+      ENDDO
+      END
+"""
+
+FIGURE_1B = """
+      SUBROUTINE filerx(A, jlow, jup, jmax, p, n)
+      REAL A(1000)
+      LOGICAL p
+      REAL x
+      INTEGER jlow, jup, jmax, I, J, n
+      DO I = 1, n
+        DO J = jlow, jup
+          A(J) = 1.0
+        ENDDO
+        IF (.NOT. p) THEN
+          A(jmax) = 2.0
+        ENDIF
+        DO J = jlow, jup
+          x = A(J) + A(jmax)
+        ENDDO
+      ENDDO
+      END
+"""
+
+FIGURE_1C = """
+      PROGRAM main
+      REAL A(1000)
+      INTEGER n, m, i
+      REAL x
+      n = 10
+      m = 100
+      DO i = 1, n
+        x = 2.0
+        call in(A, x, m)
+        call out(A, x, m)
+      ENDDO
+      END
+
+      SUBROUTINE in(B, x, mm)
+      REAL B(1000), x
+      INTEGER mm, J
+      IF (x .GT. 500.0) RETURN
+      DO J = 1, mm
+        B(J) = x
+      ENDDO
+      END
+
+      SUBROUTINE out(B, x, mm)
+      REAL B(1000), x
+      INTEGER mm, J
+      REAL y
+      IF (x .GT. 500.0) RETURN
+      DO J = 1, mm
+        y = B(J)
+      ENDDO
+      END
+"""

@@ -1,0 +1,152 @@
+"""MDG — routines ``interf`` (loop 1000) and ``poteng`` (loop 2000).
+
+``interf/1000`` is the paper's hardest case: six work arrays privatize
+(RS, FF, GG, XL, YL, ZL — needing symbolic bounds, IF-condition guards,
+and interprocedural summaries), while ``RL`` reproduces Figure 1(a): its
+write is guarded by a condition on an *array element* (outside the
+implementation's predicate language, section 5.2), so it is not
+automatically privatized — exactly Table 2's single "no" entry.
+
+``poteng/2000`` privatizes five work arrays with constant bounds through
+calls: interprocedural analysis only (T3).
+"""
+
+from .registry import Kernel, register
+
+SOURCE = """
+      PROGRAM mdg
+      REAL VM(4000), ENR(2)
+      INTEGER nmol1, natmo, i
+      REAL cut2, epot
+      LOGICAL sw
+      nmol1 = 170
+      natmo = 9
+      cut2 = 100.0
+      sw = .FALSE.
+C  --- setup phase ---
+      DO i = 1, 1000
+        VM(i) = 0.25 * i
+      ENDDO
+      call interf(VM, ENR, nmol1, natmo, 60, cut2, sw)
+      call poteng(VM, ENR, 12)
+      END
+
+      SUBROUTINE interf(VM, ENR, nmol1, natmo, ig, cut2, sw)
+      REAL VM(4000), ENR(2), cut2
+      INTEGER nmol1, natmo, ig
+      LOGICAL sw
+      REAL RS(64), FF(64), GG(64), XL(64), YL(64), ZL(64), RL(64)
+      REAL ttemp, fsum
+      INTEGER i, k, kc
+      DO 1000 i = 1, nmol1
+        call getdis(XL, YL, ZL, VM, natmo, i)
+C  --- Figure 1(a) body: RS drives conditional writes of RL ---
+        kc = 0
+        DO k = 1, 9
+          RS(k) = XL(k) + YL(k) + ZL(k)
+          IF (RS(k) .GT. cut2) kc = kc + 1
+        ENDDO
+        DO k = 2, 5
+          IF (RS(k+4) .GT. cut2) GOTO 7
+          RL(k+4) = RS(k)
+ 7      ENDDO
+        IF (kc .NE. 0) GOTO 8
+        DO k = 11, 14
+          ttemp = 2.0 * RL(k-5)
+          ENR(1) = ENR(1) + ttemp
+        ENDDO
+ 8      CONTINUE
+C  --- symbolic-bound work arrays ---
+        DO k = 1, natmo
+          FF(k) = XL(k) * YL(k) - ZL(k)
+        ENDDO
+C  --- Figure 1(b) pattern on GG (loop-invariant switch sw) ---
+        DO k = 1, natmo
+          GG(k) = FF(k) + 1.0
+        ENDDO
+        IF (.NOT. sw) THEN
+          GG(ig) = cut2
+        ENDIF
+        fsum = 0.0
+        DO k = 1, natmo
+          fsum = fsum + FF(k) + GG(k) + GG(ig)
+        ENDDO
+        ENR(2) = ENR(2) + fsum
+ 1000 CONTINUE
+      END
+
+      SUBROUTINE getdis(X, Y, Z, VM, natmo, im)
+      REAL X(64), Y(64), Z(64), VM(4000)
+      INTEGER natmo, im, k
+      DO k = 1, natmo
+        X(k) = VM(im) + 0.5 * k
+        Y(k) = VM(im) - 0.5 * k
+        Z(k) = X(k) * Y(k)
+      ENDDO
+      END
+
+      SUBROUTINE poteng(VM, ENR, nmol)
+      REAL VM(4000), ENR(2)
+      INTEGER nmol
+      REAL RS(14), RL(14), XL(14), YL(14), ZL(14)
+      REAL epot
+      INTEGER i, k
+      epot = 0.0
+      DO 2000 i = 1, nmol
+        call vects(XL, YL, ZL, VM, i)
+        call dists(RS, RL, XL, YL, ZL)
+        DO k = 1, 14
+          epot = epot + RS(k) + RL(k)
+        ENDDO
+ 2000 CONTINUE
+      ENR(2) = ENR(2) + epot
+      END
+
+      SUBROUTINE vects(X, Y, Z, VM, im)
+      REAL X(14), Y(14), Z(14), VM(4000)
+      INTEGER im, k
+      DO k = 1, 14
+        X(k) = VM(im) + k
+        Y(k) = VM(im) - k
+        Z(k) = X(k) + Y(k)
+      ENDDO
+      END
+
+      SUBROUTINE dists(RS, RL, X, Y, Z)
+      REAL RS(14), RL(14), X(14), Y(14), Z(14)
+      INTEGER k
+      DO k = 1, 14
+        RS(k) = X(k) * X(k) + Y(k) * Y(k)
+        RL(k) = RS(k) + Z(k) * Z(k)
+      ENDDO
+      END
+"""
+
+INTERF_1000 = register(
+    Kernel(
+        program="MDG",
+        routine="interf",
+        loop_label=1000,
+        source=SOURCE,
+        privatizable=("rs", "ff", "gg", "xl", "yl", "zl"),
+        not_privatizable=("rl",),
+        techniques=("T1", "T2", "T3"),
+        paper_speedup=6.0,
+        paper_pct_seq=90.0,
+        sizes={"nmol1": 170, "natmo": 9, "nmol": 12},
+    )
+)
+
+POTENG_2000 = register(
+    Kernel(
+        program="MDG",
+        routine="poteng",
+        loop_label=2000,
+        source=SOURCE,
+        privatizable=("rs", "rl", "xl", "yl", "zl"),
+        techniques=("T3",),
+        paper_speedup=5.2,
+        paper_pct_seq=8.0,
+        sizes={"nmol1": 170, "natmo": 9, "nmol": 12},
+    )
+)

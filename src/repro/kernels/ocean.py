@@ -1,0 +1,132 @@
+"""OCEAN — routine ``ocean``, loops 270, 480, 500.
+
+All three reproduce the Figure 1(c) shape: each iteration conditionally
+fills a complex work buffer (``CWORK``, plus ``CWORK2`` in loop 480)
+inside one callee and conditionally consumes it inside another, with
+*complementary* guards on a real scalar — privatization needs symbolic
+analysis (the real comparison), IF-condition analysis (the guards), and
+interprocedural propagation: T1+T2+T3, matching Table 1.
+"""
+
+from .registry import Kernel, register
+
+SOURCE = """
+      PROGRAM oceanp
+      REAL FIELD(8000), OUT(8000)
+      INTEGER nmlx, im, j, m
+      nmlx = 16
+      im = 64
+      DO j = 1, 8000
+        FIELD(j) = 0.125 * j
+      ENDDO
+      call ocean(FIELD, OUT, nmlx, im)
+C  --- barotropic solver (dominant serial phase) ---
+      DO j = 1, 8000
+        DO m = 1, 5
+          FIELD(j) = FIELD(j) * 0.9 + OUT(j) * 0.1 + 0.01 * m
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE ocean(FIELD, OUT, nmlx, im)
+      REAL FIELD(8000), OUT(8000)
+      INTEGER nmlx, im
+      REAL CWORK(4096), CWORK2(4096)
+      REAL xm
+      INTEGER j
+C  --- forward transform pass ---
+      DO 270 j = 1, nmlx
+        xm = FIELD(j)
+        call ftrvmt(CWORK, xm, im)
+        call scopy(CWORK, OUT, xm, im, j)
+ 270  CONTINUE
+C  --- cross-spectral pass (two work buffers) ---
+      DO 480 j = 1, nmlx
+        xm = FIELD(j) * 0.5
+        call ftrvmt(CWORK, xm, im)
+        call ftrvmt(CWORK2, xm, im)
+        call sblend(CWORK, CWORK2, OUT, xm, im, j)
+ 480  CONTINUE
+C  --- inverse transform pass ---
+      DO 500 j = 1, nmlx
+        xm = OUT(j)
+        call ftrvmt(CWORK, xm, im)
+        call scopy(CWORK, FIELD, xm, im, j)
+ 500  CONTINUE
+      END
+
+      SUBROUTINE ftrvmt(W, x, im)
+      REAL W(4096), x
+      INTEGER im, k
+      IF (x .GT. 1000000.0) RETURN
+      DO k = 1, im
+        W(k) = x + 0.25 * k
+      ENDDO
+      END
+
+      SUBROUTINE scopy(W, DST, x, im, jcol)
+      REAL W(4096), DST(8000), x
+      INTEGER im, jcol, k
+      REAL s
+      IF (x .GT. 1000000.0) RETURN
+      s = 0.0
+      DO k = 1, im
+        s = s + W(k)
+      ENDDO
+      DST(jcol) = s
+      END
+
+      SUBROUTINE sblend(W, W2, DST, x, im, jcol)
+      REAL W(4096), W2(4096), DST(8000), x
+      INTEGER im, jcol, k
+      REAL s
+      IF (x .GT. 1000000.0) RETURN
+      s = 0.0
+      DO k = 1, im
+        s = s + W(k) * W2(k)
+      ENDDO
+      DST(jcol) = s
+      END
+"""
+
+OCEAN_270 = register(
+    Kernel(
+        program="OCEAN",
+        routine="ocean",
+        loop_label=270,
+        source=SOURCE,
+        privatizable=("cwork",),
+        techniques=("T1", "T2", "T3"),
+        paper_speedup=8.0,
+        paper_pct_seq=3.0,
+        sizes={"nmlx": 16, "im": 64},
+    )
+)
+
+OCEAN_480 = register(
+    Kernel(
+        program="OCEAN",
+        routine="ocean",
+        loop_label=480,
+        source=SOURCE,
+        privatizable=("cwork", "cwork2"),
+        techniques=("T1", "T2", "T3"),
+        paper_speedup=6.1,
+        paper_pct_seq=4.0,
+        sizes={"nmlx": 16, "im": 64},
+    )
+)
+
+OCEAN_500 = register(
+    Kernel(
+        program="OCEAN",
+        routine="ocean",
+        loop_label=500,
+        source=SOURCE,
+        privatizable=("cwork",),
+        techniques=("T1", "T2", "T3"),
+        paper_speedup=6.5,
+        paper_pct_seq=3.0,
+        sizes={"nmlx": 16, "im": 64},
+    )
+)

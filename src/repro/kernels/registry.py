@@ -1,0 +1,62 @@
+"""Kernel registry: one record per Table 1/2 loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark loop and everything the experiments need to know."""
+
+    program: str  # Perfect program name, e.g. "TRACK"
+    routine: str  # routine containing the loop, e.g. "nlfilt"
+    loop_label: int  # the paper's loop label, e.g. 300
+    source: str  # full Fortran program text
+    #: arrays Table 2 reports privatizable (lower case)
+    privatizable: tuple[str, ...]
+    #: arrays Table 2 reports *not* automatically privatizable
+    not_privatizable: tuple[str, ...] = ()
+    #: Table 1 technique columns marked "Yes"
+    techniques: tuple[str, ...] = ()
+    paper_speedup: float = 0.0
+    paper_pct_seq: float = 0.0
+    #: problem-size bindings for the cost model
+    sizes: Mapping[str, int] = field(default_factory=dict)
+    #: paper marks ARC2D speedups as estimates
+    speedup_estimated: bool = False
+
+    @property
+    def loop_id(self) -> str:
+        return f"{self.routine}/{self.loop_label}"
+
+    @property
+    def full_id(self) -> str:
+        return f"{self.program}:{self.loop_id}"
+
+
+KERNELS: list[Kernel] = []
+
+
+def register(kernel: Kernel) -> Kernel:
+    """Add a kernel to the global registry (returns it)."""
+    KERNELS.append(kernel)
+    return kernel
+
+
+def get_kernel(program: str, routine: str, label: int) -> Kernel:
+    """Look up one kernel by program/routine/label."""
+    for k in KERNELS:
+        if (
+            k.program.lower() == program.lower()
+            and k.routine == routine
+            and k.loop_label == label
+        ):
+            return k
+    raise KeyError(f"{program}:{routine}/{label}")
+
+
+def kernels_for_program(program: str) -> list[Kernel]:
+    """All kernels belonging to one Perfect program."""
+    return [k for k in KERNELS if k.program.lower() == program.lower()]

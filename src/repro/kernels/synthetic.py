@@ -1,0 +1,163 @@
+"""Synthetic kernels: scaling studies and feature-specific test programs.
+
+``make_loop_nest`` builds programs of configurable depth/width for the
+analysis-cost scaling bench; the named sources exercise individual
+analysis features (steps, reductions, goto cycles, premature exits) for
+tests.
+"""
+
+from __future__ import annotations
+
+#: simplest privatizable work-array loop
+SIMPLE_PRIVATIZABLE = """
+      SUBROUTINE sweep(A, B, n, m)
+      REAL A(1000), B(1000)
+      INTEGER n, m, i, j
+      REAL T(100)
+      REAL s
+      DO i = 1, n
+        DO j = 1, m
+          T(j) = B(j) + i
+        ENDDO
+        s = 0.0
+        DO j = 1, m
+          s = s + T(j)
+        ENDDO
+        A(i) = s
+      ENDDO
+      END
+"""
+
+#: loop with a genuine carried flow dependence (recurrence)
+RECURRENCE = """
+      SUBROUTINE recur(A, n)
+      REAL A(1000)
+      INTEGER n, i
+      DO i = 2, n
+        A(i) = A(i-1) + 1.0
+      ENDDO
+      END
+"""
+
+#: sum reduction
+REDUCTION = """
+      SUBROUTINE sumup(A, n, total)
+      REAL A(1000), total
+      INTEGER n, i
+      DO i = 1, n
+        total = total + A(i)
+      ENDDO
+      END
+"""
+
+#: strided writes that tile without overlap
+STRIDED = """
+      SUBROUTINE stride(A, n)
+      REAL A(2000)
+      INTEGER n, i
+      DO i = 1, n
+        A(2*i) = 1.0
+        A(2*i+1) = 2.0
+      ENDDO
+      END
+"""
+
+#: backward GOTO forming a cycle (condensed conservatively)
+GOTO_CYCLE = """
+      SUBROUTINE wloop(A, n)
+      REAL A(1000)
+      INTEGER n, k
+      k = 1
+ 10   CONTINUE
+      A(k) = 1.0
+      k = k + 1
+      IF (k .LE. n) GOTO 10
+      END
+"""
+
+#: premature exit from a DO loop
+PREMATURE_EXIT = """
+      SUBROUTINE search(A, n, found)
+      REAL A(1000)
+      INTEGER n, found, i
+      DO i = 1, n
+        IF (A(i) .GT. 100.0) GOTO 99
+        A(i) = A(i) + 1.0
+      ENDDO
+ 99   CONTINUE
+      found = i
+      END
+"""
+
+#: Figure-5 style: guarded single-cell write before a windowed read
+INVARIANT_GUARD = """
+      SUBROUTINE guardw(A, n, jlow, jup, jmax, p)
+      REAL A(1000)
+      LOGICAL p
+      INTEGER n, jlow, jup, jmax, i, j
+      REAL x
+      DO i = 1, n
+        DO j = jlow, jup
+          A(j) = 1.0
+        ENDDO
+        IF (.NOT. p) THEN
+          A(jmax) = 2.0
+        ENDIF
+        DO j = jlow, jup
+          x = A(j) + A(jmax)
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def make_loop_nest(depth: int, width: int, routines: int = 1) -> str:
+    """A program with *routines* subroutines, each holding a *depth*-deep
+    loop nest over work arrays, called from a driver.
+
+    Used by the scaling bench: analysis cost should grow roughly linearly
+    with program size (the paper's Figure 4 practicality claim).
+    """
+    units: list[str] = []
+    calls = []
+    for r in range(routines):
+        name = f"work{r}"
+        calls.append(f"      call {name}(A, n)")
+        body: list[str] = []
+        indent = "      "
+        for d in range(depth):
+            body.append(f"{indent}DO i{d} = 1, n")
+            indent += "  "
+        for w in range(width):
+            body.append(f"{indent}T(i{depth - 1} + {w}) = A(i0) * {w + 1}.0")
+        body.append(f"{indent}A(i0) = T(i{depth - 1})")
+        for d in range(depth):
+            indent = indent[:-2]
+            body.append(f"{indent}ENDDO")
+        decl_idx = ", ".join(f"i{d}" for d in range(depth))
+        units.append(
+            "\n".join(
+                [
+                    f"      SUBROUTINE {name}(A, n)",
+                    "      REAL A(10000)",
+                    f"      INTEGER n, {decl_idx}",
+                    "      REAL T(10000)",
+                ]
+                + body
+                + ["      END"]
+            )
+        )
+    main = "\n".join(
+        [
+            "      PROGRAM scale",
+            "      REAL A(10000)",
+            "      INTEGER n, i",
+            "      n = 50",
+            "      DO i = 1, 10000",
+            "        A(i) = 1.0",
+            "      ENDDO",
+        ]
+        + calls
+        + ["      END"]
+    )
+    return main + "\n" + "\n".join(units) + "\n"

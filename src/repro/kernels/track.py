@@ -1,0 +1,99 @@
+"""TRACK — routine ``nlfilt``, loop 300 (Table 1/2).
+
+The paper reports seven privatizable work arrays (P1, P2, P, PP1, PP2,
+PP, XSD) in ``nlfilt``'s loop 300, requiring only interprocedural
+analysis (T3): the per-track state vectors are filled by callees with
+*constant* bounds (4x4 Kalman-filter style state), so no symbolic
+reasoning or IF-condition analysis is needed — but without looking inside
+the calls, every array is an unknown read/write and nothing privatizes.
+"""
+
+from .registry import Kernel, register
+
+SOURCE = """
+      PROGRAM track
+      REAL TRKS(600), OBS(2000)
+      INTEGER ntrks, nobs, i, m
+      REAL acc
+      ntrks = 56
+      nobs = 900
+C  --- observation preprocessing and smoothing (serial phases) ---
+      DO i = 1, nobs
+        OBS(i) = 0.5 * i + 2.0
+        OBS(i) = OBS(i) * OBS(i) + 1.0
+        OBS(i) = OBS(i) / 2.0
+      ENDDO
+      DO i = 2, nobs
+        DO m = 1, 4
+          OBS(i) = OBS(i) * 0.75 + OBS(i-1) * 0.25 + 0.125 * m
+        ENDDO
+      ENDDO
+      DO i = 1, ntrks
+        TRKS(i) = 1.0 * i
+      ENDDO
+      call nlfilt(TRKS, ntrks, OBS)
+C  --- track report generation (serial phase) ---
+      acc = 0.0
+      DO i = 1, ntrks
+        acc = acc + TRKS(i)
+      ENDDO
+      TRKS(1) = acc
+      END
+
+      SUBROUTINE nlfilt(TRKS, ntrks, OBS)
+      REAL TRKS(600), OBS(2000)
+      INTEGER ntrks, i
+      REAL P1(16), P2(16), P(16), PP1(16), PP2(16), PP(16), XSD(4)
+      DO 300 i = 1, ntrks
+        call predct(P1, P2, P, TRKS, i)
+        call updtrk(PP1, PP2, PP, P1, P2, P, OBS, i)
+        call resid(XSD, PP1, PP2, PP, OBS, i)
+        TRKS(i) = XSD(1) + XSD(2) + XSD(3) + XSD(4)
+ 300  CONTINUE
+      END
+
+      SUBROUTINE predct(A1, A2, A, TRKS, it)
+      REAL A1(16), A2(16), A(16), TRKS(600)
+      INTEGER it, k
+      DO k = 1, 16
+        A1(k) = TRKS(it) + 0.1 * k
+        A2(k) = TRKS(it) - 0.1 * k
+        A(k) = A1(k) * A2(k)
+      ENDDO
+      END
+
+      SUBROUTINE updtrk(B1, B2, B, A1, A2, A, OBS, it)
+      REAL B1(16), B2(16), B(16), A1(16), A2(16), A(16), OBS(2000)
+      INTEGER it, k
+      DO k = 1, 16
+        B1(k) = A1(k) + OBS(it)
+        B2(k) = A2(k) * OBS(it)
+        B(k) = A(k) + B1(k) - B2(k)
+      ENDDO
+      END
+
+      SUBROUTINE resid(XS, B1, B2, B, OBS, it)
+      REAL XS(4), B1(16), B2(16), B(16), OBS(2000)
+      INTEGER it, k, m
+      DO k = 1, 4
+        XS(k) = 0.0
+        DO m = 1, 4
+          XS(k) = XS(k) + B(4*(k-1)+m) + B1(m) - B2(m)
+        ENDDO
+      ENDDO
+      END
+"""
+
+NLFILT_300 = register(
+    Kernel(
+        program="TRACK",
+        routine="nlfilt",
+        loop_label=300,
+        source=SOURCE,
+        privatizable=("p1", "p2", "p", "pp1", "pp2", "pp", "xsd"),
+        techniques=("T3",),
+        paper_speedup=5.2,
+        paper_pct_seq=40.0,
+        sizes={"ntrks": 56, "nobs": 900},
+    )
+)

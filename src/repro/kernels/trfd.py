@@ -1,0 +1,91 @@
+"""TRFD — routine ``olda``, loops 100 and 300.
+
+Both loops privatize work arrays whose written regions have *symbolic*
+bounds (``num``, derived from the molecular basis size): purely
+intraprocedural, no IF conditions — symbolic analysis (T1) alone decides
+them, matching Table 1 (T1 Yes, T2/T3 No).  These are the paper's biggest
+wins (speedups 16.4 and 12.3: large trip counts, vectorizable bodies).
+"""
+
+from .registry import Kernel, register
+
+SOURCE = """
+      PROGRAM trfd
+      REAL X(40000), V(40000)
+      INTEGER num, nrs, i
+      num = 40
+      nrs = 820
+      DO i = 1, 40000
+        X(i) = 0.001 * i
+        V(i) = 0.002 * i
+      ENDDO
+      call olda(X, V, num, nrs)
+      END
+
+      SUBROUTINE olda(X, V, num, nrs)
+      REAL X(40000), V(40000)
+      INTEGER num, nrs
+      REAL XRSIQ(2000), XIJ(2000), XIJKS(2000), XKL(2000)
+      INTEGER mrs, mq, mi, mk, ml
+      REAL xval
+C  --- first integral transformation pass ---
+      DO 100 mrs = 1, nrs
+        xval = X(mrs)
+        DO mq = 1, num
+          XRSIQ(mq) = xval * mq + V(mrs)
+        ENDDO
+        DO mi = 1, num
+          XIJ(mi) = XRSIQ(mi) * 2.0 + XRSIQ(num)
+        ENDDO
+        DO mi = 1, num
+          XIJ(mi) = XIJ(mi) * XIJ(mi) + XRSIQ(mi) * 0.5
+        ENDDO
+        DO mi = 1, num
+          XRSIQ(mi) = XIJ(mi) - XRSIQ(mi) * 0.25
+        ENDDO
+        DO mi = 1, num
+          X(mrs) = X(mrs) + XIJ(mi) * XIJ(mi) + XRSIQ(mi)
+        ENDDO
+ 100  CONTINUE
+C  --- second integral transformation pass ---
+      DO 300 mk = 1, nrs
+        DO ml = 1, num
+          XIJKS(ml) = V(mk) * ml
+        ENDDO
+        DO ml = 1, num
+          XKL(ml) = XIJKS(ml) + XIJKS(1)
+        ENDDO
+        DO ml = 1, num
+          V(mk) = V(mk) + XKL(ml)
+        ENDDO
+ 300  CONTINUE
+      END
+"""
+
+OLDA_100 = register(
+    Kernel(
+        program="TRFD",
+        routine="olda",
+        loop_label=100,
+        source=SOURCE,
+        privatizable=("xrsiq", "xij"),
+        techniques=("T1",),
+        paper_speedup=16.4,
+        paper_pct_seq=69.0,
+        sizes={"num": 40, "nrs": 820},
+    )
+)
+
+OLDA_300 = register(
+    Kernel(
+        program="TRFD",
+        routine="olda",
+        loop_label=300,
+        source=SOURCE,
+        privatizable=("xijks", "xkl"),
+        techniques=("T1",),
+        paper_speedup=12.3,
+        paper_pct_seq=29.0,
+        sizes={"num": 40, "nrs": 820},
+    )
+)

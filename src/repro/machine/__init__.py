@@ -1,0 +1,6 @@
+"""Machine model substrate: cost estimation and Alliant-FX/8-like speedups."""
+
+from .costmodel import CostModel, LoopCost, ProgramCost
+from .speedup import MachineModel
+
+__all__ = ["CostModel", "LoopCost", "MachineModel", "ProgramCost"]

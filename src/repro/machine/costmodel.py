@@ -1,0 +1,307 @@
+"""Static execution-cost model over the AST.
+
+Stands in for the paper's measurement substrate (Alliant FX/8 runs of the
+Perfect codes): a simple operation-counting model that assigns each
+statement a unit-ish cost and multiplies loop bodies by trip counts.
+Symbolic trip counts are resolved against a caller-supplied environment of
+problem-size parameters (the Perfect input decks fix these), with a
+documented default when unknown.
+
+Loops are reported with their *whole-program* cost: per-unit records are
+scaled by the unit's invocation count, which is propagated top-down from
+the main program through call sites (weighted by enclosing trip counts).
+
+The model is deliberately simple — the Table 1 reproduction needs relative
+magnitudes (which loop dominates, roughly how much work per iteration),
+not cycle accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from ..dataflow.convert import ConversionContext, to_symexpr
+from ..fortran.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    CallStmt,
+    Continue,
+    DoLoop,
+    Expr,
+    Goto,
+    IfBlock,
+    IoStmt,
+    LogicalIf,
+    Return,
+    Stmt,
+    Stop,
+    UnOp,
+)
+from ..fortran.semantics import AnalyzedProgram
+
+#: default trip count for loops whose bounds the environment cannot resolve
+DEFAULT_TRIP = 50
+#: flat cost charged per intrinsic/external function evaluation
+CALL_EVAL_COST = 8.0
+
+
+@dataclass
+class LoopCost:
+    """Cost record for one source loop (whole-program totals)."""
+
+    routine: str
+    source_label: Optional[int]
+    var: str
+    lineno: int
+    trips: float
+    body_cost: float  # one iteration
+    total_cost: float  # trips * body * invocations of the routine
+    #: executions of the loop itself across the program
+    invocations: float
+    #: deepest loop is vector-unit eligible when its body is straight-line
+    vectorizable_inner: bool
+
+
+@dataclass
+class ProgramCost:
+    total: float
+    loops: list[LoopCost] = field(default_factory=list)
+    routine_costs: dict[str, float] = field(default_factory=dict)
+
+    def loop(self, routine: str, label: int | None) -> LoopCost:
+        """Look up the record of one source loop."""
+        for lc in self.loops:
+            if lc.routine == routine and lc.source_label == label:
+                return lc
+        raise KeyError(f"{routine}/{label}")
+
+    def percent_of_sequential(self, lc: LoopCost) -> float:
+        """The loop's share of total program cost."""
+        return 100.0 * lc.total_cost / self.total if self.total else 0.0
+
+
+class CostModel:
+    """Operation-counting cost estimator."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        sizes: Mapping[str, int] | None = None,
+        default_trip: int = DEFAULT_TRIP,
+    ) -> None:
+        self.analyzed = analyzed
+        self.sizes = dict(sizes or {})
+        self.default_trip = default_trip
+        self._unit_cache: dict[str, float] = {}
+        self._unit_loops: dict[str, list[LoopCost]] = {}
+        self._unit_call_weights: dict[str, dict[str, float]] = {}
+        self._in_progress: set[str] = set()
+
+    # -- public ------------------------------------------------------------------
+
+    def program_cost(self) -> ProgramCost:
+        """Total cost plus per-loop records for the whole program."""
+        self._unit_cache.clear()
+        self._unit_loops.clear()
+        self._unit_call_weights.clear()
+        main = self.analyzed.program.main()
+        total = self.unit_cost(main.name)
+        invocations = self._invocation_counts(main.name)
+        loops: list[LoopCost] = []
+        for unit_name, records in self._unit_loops.items():
+            times = invocations.get(unit_name, 0.0)
+            if times <= 0:
+                continue
+            for record in records:
+                loops.append(
+                    replace(
+                        record,
+                        total_cost=record.total_cost * times,
+                        invocations=record.invocations * times,
+                    )
+                )
+        return ProgramCost(total, loops, dict(self._unit_cache))
+
+    def unit_cost(self, name: str) -> float:
+        """Cost of one routine invocation (cached)."""
+        cached = self._unit_cache.get(name)
+        if cached is not None:
+            return cached
+        if name in self._in_progress:
+            return CALL_EVAL_COST  # recursion guard (rejected elsewhere)
+        self._in_progress.add(name)
+        try:
+            unit = self.analyzed.unit(name)
+            ctx = ConversionContext(self.analyzed.table(name))
+            self._unit_loops[name] = []
+            self._unit_call_weights[name] = {}
+            cost = self._block_cost(unit.body, ctx, name, 1.0)
+        finally:
+            self._in_progress.discard(name)
+        self._unit_cache[name] = cost
+        return cost
+
+    def _invocation_counts(self, main: str) -> dict[str, float]:
+        """Times each unit executes, following weighted call edges from main."""
+        counts: dict[str, float] = {main: 1.0}
+        # process in caller-before-callee order: reverse of the bottom-up
+        # topological order of the call graph edges we recorded
+        order = self._topological_from(main)
+        for caller in order:
+            for callee, weight in self._unit_call_weights.get(caller, {}).items():
+                counts[callee] = counts.get(callee, 0.0) + counts.get(
+                    caller, 0.0
+                ) * weight
+        return counts
+
+    def _topological_from(self, main: str) -> list[str]:
+        """Callers strictly before callees (Kahn over the weighted edges)."""
+        reachable: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in reachable:
+                return
+            reachable.add(name)
+            for callee in self._unit_call_weights.get(name, {}):
+                visit(callee)
+
+        visit(main)
+        indeg: dict[str, int] = {name: 0 for name in reachable}
+        for caller in reachable:
+            for callee in self._unit_call_weights.get(caller, {}):
+                if callee in indeg:
+                    indeg[callee] += 1
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for callee in self._unit_call_weights.get(node, {}):
+                indeg[callee] -= 1
+                if indeg[callee] == 0:
+                    ready.append(callee)
+        return order
+
+    # -- statement costs ---------------------------------------------------------------
+
+    def _block_cost(
+        self, stmts: list[Stmt], ctx: ConversionContext, routine: str, mult: float
+    ) -> float:
+        return sum(self._stmt_cost(s, ctx, routine, mult) for s in stmts)
+
+    def _stmt_cost(
+        self, stmt: Stmt, ctx: ConversionContext, routine: str, mult: float
+    ) -> float:
+        if isinstance(stmt, Assign):
+            return 1.0 + self._expr_cost(stmt.value) + self._expr_cost(stmt.target)
+        if isinstance(stmt, CallStmt):
+            args = sum(self._expr_cost(a) for a in stmt.args)
+            if stmt.name in {u.name for u in self.analyzed.program.units}:
+                weights = self._unit_call_weights.setdefault(routine, {})
+                weights[stmt.name] = weights.get(stmt.name, 0.0) + mult
+                return 2.0 + args + self.unit_cost(stmt.name)
+            return CALL_EVAL_COST + args
+        if isinstance(stmt, IfBlock):
+            cost = 0.0
+            for cond, body in stmt.arms:
+                cost += 0.5 + self._expr_cost(cond)
+                cost += 0.5 * self._block_cost(body, ctx, routine, mult * 0.5)
+            cost += 0.5 * self._block_cost(stmt.orelse, ctx, routine, mult * 0.5)
+            return cost
+        if isinstance(stmt, LogicalIf):
+            return (
+                0.5
+                + self._expr_cost(stmt.cond)
+                + 0.5 * self._stmt_cost(stmt.stmt, ctx, routine, mult * 0.5)
+            )
+        if isinstance(stmt, DoLoop):
+            return self._loop_cost(stmt, ctx, routine, mult)
+        if isinstance(stmt, IoStmt):
+            return 4.0 + sum(self._expr_cost(i) for i in stmt.items)
+        if isinstance(stmt, (Goto, Continue, Return, Stop)):
+            return 0.2
+        return 0.0  # declarations
+
+    def _loop_cost(
+        self, stmt: DoLoop, ctx: ConversionContext, routine: str, mult: float
+    ) -> float:
+        trips = self._trip_count(stmt, ctx)
+        inner_ctx = ctx.with_index(stmt.var)
+        body = self._block_cost(stmt.body, inner_ctx, routine, mult * trips)
+        total = trips * (body + 0.5) + 1.0
+        self._unit_loops.setdefault(routine, []).append(
+            LoopCost(
+                routine=routine,
+                source_label=stmt.label if stmt.label is not None else stmt.end_label,
+                var=stmt.var,
+                lineno=stmt.lineno,
+                trips=trips,
+                body_cost=body,
+                total_cost=total * mult,
+                invocations=mult,
+                vectorizable_inner=self._is_vector_body(stmt),
+            )
+        )
+        return total
+
+    def _trip_count(self, stmt: DoLoop, ctx: ConversionContext) -> float:
+        lo = self._resolve(stmt.start, ctx)
+        hi = self._resolve(stmt.stop, ctx)
+        step = self._resolve(stmt.step, ctx) if stmt.step is not None else 1
+        if lo is None or hi is None or step in (None, 0):
+            return float(self.default_trip)
+        trips = (hi - lo) // step + 1 if step else 0
+        return float(max(trips, 0))
+
+    def _resolve(self, expr: Optional[Expr], ctx: ConversionContext) -> Optional[int]:
+        if expr is None:
+            return None
+        sym = to_symexpr(expr, ctx)
+        if sym is None:
+            return None
+        try:
+            value = sym.evaluate(dict(self.sizes))
+        except KeyError:
+            return None
+        if value.denominator != 1:
+            return None
+        return value.numerator
+
+    def _is_vector_body(self, stmt: DoLoop) -> bool:
+        """The loop's iteration work vectorizes on a vector-unit CPU.
+
+        True for an innermost loop whose body is straight-line array
+        assignments, and for an outer loop whose contained loops are all
+        vectorizable — the Alliant concurrent-outer/vector-inner regime
+        that lets the paper's TRFD loops exceed the processor count.
+        """
+        inner_loops = [s for s in stmt.body if isinstance(s, DoLoop)]
+        if inner_loops:
+            simple_rest = all(
+                isinstance(s, (DoLoop, Assign, Continue)) for s in stmt.body
+            )
+            return simple_rest and all(
+                self._is_vector_body(inner) for inner in inner_loops
+            )
+        for s in stmt.body:
+            if isinstance(s, (IfBlock, LogicalIf, Goto, CallStmt, IoStmt)):
+                return False
+        return any(
+            isinstance(s, Assign) and isinstance(s.target, Apply)
+            for s in stmt.body
+        )
+
+    # -- expression cost ----------------------------------------------------------------
+
+    def _expr_cost(self, expr: Expr) -> float:
+        cost = 0.0
+        for node in expr.walk():
+            if isinstance(node, BinOp):
+                cost += 2.0 if node.op in ("*", "/", "**") else 1.0
+            elif isinstance(node, UnOp):
+                cost += 0.5
+            elif isinstance(node, Apply):
+                cost += 1.0 if node.is_array else CALL_EVAL_COST
+        return cost

@@ -1,0 +1,24 @@
+"""Loop parallelization — client 2 of the dataflow analysis."""
+
+from .classifier import (
+    LoopStatus,
+    LoopVerdict,
+    VariableFinding,
+    classify_all_loops,
+    classify_loop,
+)
+from .loop_analysis import DependenceReport, loop_dependences, variable_dependences
+from .reductions import Reduction, find_reductions
+
+__all__ = [
+    "DependenceReport",
+    "LoopStatus",
+    "LoopVerdict",
+    "Reduction",
+    "VariableFinding",
+    "classify_all_loops",
+    "classify_loop",
+    "find_reductions",
+    "loop_dependences",
+    "variable_dependences",
+]

@@ -1,0 +1,155 @@
+"""Reduction recognition.
+
+A scalar ``s`` is a reduction in a loop when every statement touching it
+has the shape ``s = s ⊕ expr`` (⊕ in ``+ - * min max``) with ``s``
+appearing nowhere else in the loop (not in conditions, subscripts, other
+right-hand sides, or call arguments).  Such loops parallelize with a
+per-processor partial result combined afterwards — the standard treatment
+the Polaris/Panorama generation of compilers applied.
+
+Array reductions ``A(e) = A(e) ⊕ expr`` (same subscript on both sides) are
+recognized the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fortran.ast_nodes import Apply, Assign, BinOp, Expr, NameRef
+from ..hsg.cfg import FlowGraph
+from ..hsg.nodes import (
+    BasicBlockNode,
+    CallNode,
+    CondensedNode,
+    IfConditionNode,
+    LoopNode,
+)
+
+_REDUCTION_INTRINSICS = {"min", "max", "amin1", "amax1", "min0", "max0",
+                         "dmin1", "dmax1"}
+
+
+@dataclass(frozen=True)
+class Reduction:
+    name: str
+    operator: str  # '+', '-', '*', 'min', 'max'
+    is_array: bool
+
+
+def _same_expr(a: Expr, b: Expr) -> bool:
+    return str(a) == str(b)
+
+
+def _reduction_shape(stmt: Assign) -> str | None:
+    """The reduction operator if ``stmt`` is ``t = t ⊕ e``, else ``None``."""
+    target = stmt.target
+    value = stmt.value
+
+    def is_target(e: Expr) -> bool:
+        if isinstance(target, NameRef):
+            return isinstance(e, NameRef) and e.name == target.name
+        if isinstance(target, Apply):
+            return (
+                isinstance(e, Apply)
+                and e.name == target.name
+                and len(e.args) == len(target.args)
+                and all(_same_expr(x, y) for x, y in zip(e.args, target.args))
+            )
+        return False
+
+    def flatten(e: Expr, op: str, sign: int) -> list[tuple[Expr, int]]:
+        """Signed terms of an associative ``op`` chain ('-' folds into '+')."""
+        if isinstance(e, BinOp) and (
+            e.op == op or (op == "+" and e.op == "-")
+        ):
+            right_sign = -sign if e.op == "-" else sign
+            return flatten(e.left, op, sign) + flatten(e.right, op, right_sign)
+        return [(e, sign)]
+
+    if isinstance(value, BinOp) and value.op in ("+", "-", "*"):
+        op = "+" if value.op in ("+", "-") else "*"
+        terms = flatten(value, op, 1)
+        hits = [(t, s) for t, s in terms if is_target(t)]
+        if len(hits) == 1 and hits[0][1] == 1:
+            # accumulator appears exactly once, positively
+            return op
+    if (
+        isinstance(value, Apply)
+        and value.is_array is False
+        and value.name in _REDUCTION_INTRINSICS
+        and any(is_target(arg) for arg in value.args)
+    ):
+        return "min" if "min" in value.name else "max"
+    return None
+
+
+def _count_occurrences(expr: Expr, name: str) -> int:
+    count = 0
+    for node in expr.walk():
+        if isinstance(node, (NameRef, Apply)) and node.name == name:
+            count += 1
+    return count
+
+
+def find_reductions(body: FlowGraph) -> list[Reduction]:
+    """Reductions over the statements of a loop body subgraph."""
+    assigns: list[Assign] = []
+    other_exprs: list[Expr] = []
+
+    def scan(graph: FlowGraph) -> None:
+        for node in graph.nodes:
+            if isinstance(node, BasicBlockNode):
+                for stmt in node.stmts:
+                    if isinstance(stmt, Assign):
+                        assigns.append(stmt)
+                    else:
+                        for block in stmt.body_blocks():
+                            pass
+            elif isinstance(node, IfConditionNode):
+                other_exprs.append(node.cond)
+            elif isinstance(node, LoopNode):
+                other_exprs.append(node.start)
+                other_exprs.append(node.stop)
+                if node.step is not None:
+                    other_exprs.append(node.step)
+                scan(node.body)
+            elif isinstance(node, CallNode):
+                other_exprs.extend(node.call.args)
+            elif isinstance(node, CondensedNode):
+                for member in node.members:
+                    if isinstance(member, BasicBlockNode):
+                        for stmt in member.stmts:
+                            if isinstance(stmt, Assign):
+                                other_exprs.append(stmt.target)
+                                other_exprs.append(stmt.value)
+
+    scan(body)
+
+    # group candidate statements by target name
+    by_name: dict[str, list[Assign]] = {}
+    for stmt in assigns:
+        name = stmt.target.name  # type: ignore[union-attr]
+        by_name.setdefault(name, []).append(stmt)
+
+    out: list[Reduction] = []
+    for name, stmts in sorted(by_name.items()):
+        ops = {_reduction_shape(s) for s in stmts}
+        if None in ops or len(ops) != 1:
+            continue
+        (op,) = ops
+        # the name must not appear anywhere outside its reduction statements
+        if any(_count_occurrences(e, name) for e in other_exprs):
+            continue
+        if any(
+            _count_occurrences(other.value, name)
+            or _count_occurrences(other.target, name)
+            for other in assigns
+            if other not in stmts
+        ):
+            continue
+        # each reduction statement reads the target exactly once on the rhs
+        if any(_count_occurrences(s.value, name) != 1 for s in stmts):
+            continue
+        is_array = isinstance(stmts[0].target, Apply)
+        out.append(Reduction(name, op, is_array))  # type: ignore[arg-type]
+    return out

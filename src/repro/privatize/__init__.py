@@ -1,0 +1,21 @@
+"""Array (and scalar) privatization — client 1 of the dataflow analysis."""
+
+from .candidates import Candidate, find_candidates
+from .liveness import CopyOutDecision, copy_out_needed
+from .privatizer import (
+    LoopPrivatization,
+    PrivatizationVerdict,
+    privatize_loop,
+    test_privatizable,
+)
+
+__all__ = [
+    "Candidate",
+    "CopyOutDecision",
+    "LoopPrivatization",
+    "PrivatizationVerdict",
+    "copy_out_needed",
+    "find_candidates",
+    "privatize_loop",
+    "test_privatizable",
+]

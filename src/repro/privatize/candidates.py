@@ -1,0 +1,51 @@
+"""Privatization candidate detection (paper section 3.2.1).
+
+An array ``A`` is a privatization *candidate* in loop ``L`` when its
+elements are overwritten in different iterations of ``L`` — established by
+examining subscripts: if the region written in an iteration does not
+depend on the loop index, every iteration writes the same elements.
+Scalars (modeled as rank-1 regions) follow the same rule and come out as
+scalar privatization, with loop indices excluded (a DO index is implicitly
+private).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.context import LoopSummaryRecord
+from ..fortran.semantics import SymbolTable
+
+
+@dataclass(frozen=True)
+class Candidate:
+    name: str
+    is_array: bool
+    #: why it qualifies (for reports)
+    reason: str
+
+
+def find_candidates(
+    record: LoopSummaryRecord, table: SymbolTable
+) -> list[Candidate]:
+    """Variables written in the loop whose written region is index-invariant."""
+    out: list[Candidate] = []
+    for name in sorted(record.mod_i.arrays()):
+        if name == record.var:
+            continue  # the loop's own index
+        written = record.mod_i.for_array(name)
+        if written.is_empty():
+            continue
+        if written.contains_var(record.var):
+            continue  # different elements per iteration: no storage reuse
+        is_array = table.is_array(name)
+        kind = "array" if is_array else "scalar"
+        out.append(
+            Candidate(
+                name,
+                is_array,
+                f"{kind} {name} is overwritten identically across iterations "
+                f"of {record.var}",
+            )
+        )
+    return out

@@ -1,0 +1,60 @@
+"""Last-value copy-out analysis for privatized arrays (section 3.2.1).
+
+After privatization each iteration writes its own copy; if the original
+array is *live after the loop* (some element may be read before being
+rewritten), the values produced by the final iteration must be copied out
+of the private copies.  Previous work (Li '92, Tu & Padua '93) treats this
+with a live-range analysis; here the check uses the summaries already
+available: the variable is treated as live unless the analysis can prove
+no later use is upward-exposed to the loop.
+
+Because the propagation is backward, the sets flowing up from *below* a
+loop node are exactly "what the rest of the program still wants"; the
+driver records them per loop so this module can decide copy-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..regions import GARList
+from ..regions.gar_ops import lists_intersect_empty
+from ..symbolic import Comparer
+
+
+@dataclass(frozen=True)
+class CopyOutDecision:
+    name: str
+    needs_copy_out: bool
+    reason: str
+
+
+def copy_out_needed(
+    name: str,
+    loop_mod: GARList,
+    ue_below: GARList,
+    cmp: Comparer,
+) -> CopyOutDecision:
+    """Does privatized *name* need its last value copied out?
+
+    ``ue_below`` is the upward-exposed use set of the program segment that
+    follows the loop (within the routine); if the loop's writes to *name*
+    feed none of those uses, the private copies can simply be discarded.
+    When ``ue_below`` is unavailable (interprocedural continuation), the
+    caller passes an Ω set and the answer is conservatively "yes".
+    """
+    written = loop_mod.for_array(name)
+    wanted = ue_below.for_array(name)
+    if wanted.is_empty():
+        return CopyOutDecision(
+            name, False, f"{name} is not used after the loop in this routine"
+        )
+    if lists_intersect_empty(written, wanted, cmp):
+        return CopyOutDecision(
+            name,
+            False,
+            f"later uses of {name} never read elements the loop writes",
+        )
+    return CopyOutDecision(
+        name, True, f"{name} may be read after the loop; copy out last value"
+    )

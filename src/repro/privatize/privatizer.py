@@ -1,0 +1,114 @@
+"""The privatizability test (paper section 3.2.1).
+
+A candidate is privatizable in loop ``L`` (index ``i``) when no flow
+dependence is carried by ``L``::
+
+    MOD_{<i}  ∩  UE_i  =  ∅
+
+Both operands may be over-approximations, so a provably empty intersection
+is a proof.  The simple sufficient condition ``UE_i = ∅`` is reported when
+it applies (the paper highlights it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataflow.context import LoopSummaryRecord
+from ..fortran.semantics import SymbolTable
+from ..regions import GARList
+from ..regions.gar_ops import intersect_lists, lists_intersect_empty
+from ..symbolic import Comparer
+from .candidates import Candidate, find_candidates
+
+
+@dataclass(frozen=True)
+class PrivatizationVerdict:
+    name: str
+    is_array: bool
+    privatizable: bool
+    reason: str
+    #: the offending intersection when not privatizable (diagnostics)
+    conflict: GARList = field(default_factory=GARList)
+
+
+@dataclass
+class LoopPrivatization:
+    """All per-variable verdicts for one loop."""
+
+    routine: str
+    loop_var: str
+    verdicts: list[PrivatizationVerdict] = field(default_factory=list)
+
+    def privatizable_arrays(self) -> list[str]:
+        """Names of arrays that passed the test."""
+        return [v.name for v in self.verdicts if v.is_array and v.privatizable]
+
+    def privatizable_scalars(self) -> list[str]:
+        """Names of scalars that passed the test."""
+        return [
+            v.name for v in self.verdicts if not v.is_array and v.privatizable
+        ]
+
+    def failed(self) -> list[PrivatizationVerdict]:
+        """Verdicts of variables that failed the test."""
+        return [v for v in self.verdicts if not v.privatizable]
+
+    def verdict_for(self, name: str) -> PrivatizationVerdict:
+        """The verdict of one variable (KeyError if absent)."""
+        for v in self.verdicts:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+
+def test_privatizable(
+    name: str, record: LoopSummaryRecord, cmp: Comparer
+) -> PrivatizationVerdict:
+    """Apply the ``MOD_{<i} ∩ UE_i = ∅`` test to one variable."""
+    is_array_like = True  # the region layer does not care; caller labels it
+    ue_i = record.ue_i.for_array(name)
+    if ue_i.is_empty() or ue_i.provably_empty(use_fm=cmp.use_fm):
+        return PrivatizationVerdict(
+            name,
+            is_array_like,
+            True,
+            f"UE_i({name}) = empty: every use is preceded by a write in the "
+            f"same iteration",
+        )
+    mod_lt = record.mod_lt.for_array(name)
+    if lists_intersect_empty(ue_i, mod_lt, cmp):
+        return PrivatizationVerdict(
+            name,
+            is_array_like,
+            True,
+            f"MOD_<{record.var} ∩ UE_{record.var} = empty: exposed uses never "
+            f"read elements written by earlier iterations",
+        )
+    conflict = intersect_lists(ue_i, mod_lt, cmp)
+    return PrivatizationVerdict(
+        name,
+        is_array_like,
+        False,
+        f"possible loop-carried flow dependence on {name}",
+        conflict,
+    )
+
+
+def privatize_loop(
+    record: LoopSummaryRecord, table: SymbolTable, cmp: Comparer
+) -> LoopPrivatization:
+    """Candidate detection + privatizability test for every candidate."""
+    result = LoopPrivatization(record.routine, record.var)
+    for candidate in find_candidates(record, table):
+        verdict = test_privatizable(candidate.name, record, cmp)
+        result.verdicts.append(
+            PrivatizationVerdict(
+                candidate.name,
+                candidate.is_array,
+                verdict.privatizable,
+                verdict.reason,
+                verdict.conflict,
+            )
+        )
+    return result

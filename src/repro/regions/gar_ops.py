@@ -1,0 +1,151 @@
+"""GAR and GAR-list set operations (paper section 3.1, "GAR operations").
+
+The nested-GAR notation ``[[P, Tlist]]`` of the paper — distribute ``P``
+into every member of ``Tlist`` — is realized by
+:meth:`~repro.regions.gar.GARList.and_guard`.
+
+Soundness contract
+------------------
+* ``union`` and ``intersect`` accept inexact (over-approximating) operands
+  and produce correspondingly inexact results.
+* ``subtract`` **kills only with exact subtrahends**: an inexact GAR on the
+  right-hand side must not remove elements, so it is skipped and the result
+  is marked inexact (it then over-approximates the true difference, which
+  is the safe direction for upward-exposed-use sets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..symbolic import Comparer, Predicate, predicate_implies
+from .gar import GAR, GARList
+from .gar_simplify import simplify_gar_list
+from .region_ops import region_difference, region_intersect, region_union
+
+
+def gar_intersect(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
+    """``T1 ∩ T2 = [[P1 ∧ P2, R1 ∩ R2]]``."""
+    guard = t1.guard & t2.guard
+    if guard.is_false():
+        return GARList.empty()
+    inner = region_intersect(t1.region, t2.region, cmp.refine(guard))
+    result = inner.and_guard(guard)
+    if not (t1.exact and t2.exact):
+        result = result.inexact()
+    return result
+
+
+def gar_union(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
+    """``T1 ∪ T2`` with the paper's three special-case simplifications.
+
+    * ``R1 == R2``: ``[P1 ∨ P2, R1]``
+    * ``P1 => P2``: ``[[P1, R1 ∪ R2]] ∪ [¬P1 ∧ P2, R2]``
+    * ``P2 => P1``: symmetric
+    * otherwise the general three-piece formula, or simply the two-element
+      list when the region union does not merge.
+    """
+    exact = t1.exact and t2.exact
+    if t1.region == t2.region:
+        guard = t1.guard | t2.guard
+        if guard.is_unknown() and not (t1.guard.is_unknown() or t2.guard.is_unknown()):
+            return GARList.of(t1, t2)  # don't lose precision to a Δ guard
+        return GARList.of(GAR(guard, t1.region, exact))
+    if predicate_implies(t1.guard, t2.guard, use_fm=cmp.use_fm):
+        merged = region_union(t1.region, t2.region, cmp.refine(t1.guard))
+        if merged is not None:
+            not_p1 = t1.guard.negate()
+            return GARList.of(
+                GAR(t1.guard, merged, exact),
+                GAR(not_p1 & t2.guard, t2.region, exact),
+            )
+    if predicate_implies(t2.guard, t1.guard, use_fm=cmp.use_fm):
+        merged = region_union(t1.region, t2.region, cmp.refine(t2.guard))
+        if merged is not None:
+            not_p2 = t2.guard.negate()
+            return GARList.of(
+                GAR(t2.guard, merged, exact),
+                GAR(t1.guard & not_p2, t1.region, exact),
+            )
+    if t1.guard == t2.guard:
+        merged = region_union(t1.region, t2.region, cmp.refine(t1.guard))
+        if merged is not None:
+            return GARList.of(GAR(t1.guard, merged, exact))
+    return GARList.of(t1, t2)
+
+
+def gar_subtract(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
+    """``T1 - T2 = [[P1 ∧ P2, R1 - R2]] ∪ [P1 ∧ ¬P2, R1]``.
+
+    When the subtrahend is inexact, has an unknown guard, or the region
+    difference is unrepresentable, the result is ``T1`` marked inexact
+    (a safe over-approximation of the true difference).
+    """
+    if not t2.exact or t2.guard.is_unknown():
+        return GARList.of(t1.inexact())
+    if t1.region.array != t2.region.array or t1.region.rank != t2.region.rank:
+        return GARList.of(t1)
+    both = t1.guard & t2.guard
+    not_p2 = t2.guard.negate()
+    escape = GAR(t1.guard & not_p2, t1.region, t1.exact and not not_p2.is_unknown())
+    if not_p2.is_unknown():
+        # cannot represent the complement: keep T1 but inexact
+        escape = t1.inexact()
+        return GARList.of(escape)
+    if both.is_false():
+        return GARList.of(GAR(t1.guard, t1.region, t1.exact))
+    diff = region_difference(t1.region, t2.region, cmp.refine(both))
+    if diff is None:
+        # unrepresentable difference: over-approximate by T1 restricted to
+        # the two guard branches (still a superset of the true difference)
+        return GARList.of(GAR(both, t1.region, False), escape)
+    pieces = diff.and_guard(both)
+    if not t1.exact:
+        pieces = pieces.inexact()
+    return pieces.union(GARList.of(escape))
+
+
+# -- list-level operations ------------------------------------------------------
+
+
+def union_lists(a: GARList, b: GARList, cmp: Comparer) -> GARList:
+    """Union of two summaries, simplified."""
+    return simplify_gar_list(a.union(b), cmp)
+
+
+def intersect_lists(a: GARList, b: GARList, cmp: Comparer) -> GARList:
+    """Pairwise intersection of two summaries (distributes over union)."""
+    out = GARList.empty()
+    for x in a:
+        for y in b:
+            if x.array != y.array:
+                continue
+            out = out.union(gar_intersect(x, y, cmp))
+    return simplify_gar_list(out, cmp)
+
+
+def subtract_lists(minuend: GARList, subtrahend: GARList, cmp: Comparer) -> GARList:
+    """``minuend - subtrahend``: fold the right list through the left.
+
+    ``(A ∪ B) - C = (A - C) ∪ (B - C)`` and ``X - (C ∪ D) = (X - C) - D``.
+    """
+    current = minuend
+    for y in subtrahend:
+        next_pieces = GARList.empty()
+        for x in current:
+            if x.array != y.array:
+                next_pieces = next_pieces.add(x)
+            else:
+                next_pieces = next_pieces.union(gar_subtract(x, y, cmp))
+        current = simplify_gar_list(next_pieces, cmp)
+    return current
+
+
+def lists_intersect_empty(a: GARList, b: GARList, cmp: Comparer) -> bool:
+    """Provably ``a ∩ b = ∅`` — the workhorse of the dependence tests.
+
+    Sound with over-approximating operands: if even the over-approximated
+    intersection is empty, the true one is.
+    """
+    inter = intersect_lists(a, b, cmp)
+    return inter.provably_empty(use_fm=cmp.use_fm)

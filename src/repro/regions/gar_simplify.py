@@ -1,0 +1,106 @@
+"""The GAR simplifier (paper section 5.2, top level).
+
+Invoked whenever GAR lists change during summary propagation.  It
+eliminates redundant GARs and combines several GARs into one when
+possible:
+
+* drop GARs whose guard is provably unsatisfiable (the emptiness check —
+  by construction the guard carries the region's ``lo <= hi`` conditions,
+  so only the guard needs examining);
+* drop a GAR covered by another (region containment + guard implication);
+* merge two GARs with identical regions by OR-ing the guards;
+* merge two GARs with identical (or implied) guards whose regions union
+  into a single regular region.
+
+All rewrites preserve the denoted set exactly, so exactness flags survive
+except where noted inline.
+"""
+
+from __future__ import annotations
+
+from ..symbolic import Comparer, predicate_implies
+from .gar import GAR, GARList
+from .region_ops import region_covers, region_union
+
+#: beyond this many GARs the quadratic pairwise pass is skipped
+MAX_PAIRWISE = 40
+#: bounded fixpoint iterations
+MAX_PASSES = 4
+
+
+def _try_merge(g1: GAR, g2: GAR, cmp: Comparer) -> GAR | None:
+    """A single GAR equal (as a set) to ``g1 ∪ g2``, or ``None``."""
+    if g1.array != g2.array or g1.region.rank != g2.region.rank:
+        return None
+    exact = g1.exact and g2.exact
+    if g1.region == g2.region:
+        guard = g1.guard | g2.guard
+        if not guard.is_unknown() or g1.guard.is_unknown() or g2.guard.is_unknown():
+            return GAR(guard, g1.region, exact)
+        return None
+    if g1.guard == g2.guard:
+        merged = region_union(g1.region, g2.region, cmp.refine(g1.guard))
+        if merged is not None:
+            return GAR(g1.guard, merged, exact)
+    return None
+
+
+def _covers(g1: GAR, g2: GAR, cmp: Comparer) -> bool:
+    """Provably ``g2 ⊆ g1`` (so g2 is redundant in a union with g1)."""
+    if g1.array != g2.array:
+        return False
+    if not predicate_implies(g2.guard, g1.guard, use_fm=cmp.use_fm):
+        return False
+    return region_covers(g1.region, g2.region, cmp.refine(g2.guard))
+
+
+def simplify_gar_list(gars: GARList, cmp: Comparer) -> GARList:
+    """Remove empty and redundant members; merge where possible."""
+    work = [g for g in gars if not g.provably_empty(use_fm=cmp.use_fm)]
+    if len(work) <= 1:
+        return GARList(work)
+    if len(work) > MAX_PAIRWISE:
+        return GARList(work)
+    for _ in range(MAX_PASSES):
+        changed = False
+        # pairwise merging
+        merged_out: list[GAR] = []
+        consumed: set[int] = set()
+        for i, g1 in enumerate(work):
+            if i in consumed:
+                continue
+            current = g1
+            for j in range(i + 1, len(work)):
+                if j in consumed:
+                    continue
+                candidate = _try_merge(current, work[j], cmp)
+                if candidate is not None:
+                    current = candidate
+                    consumed.add(j)
+                    changed = True
+            merged_out.append(current)
+        work = merged_out
+        # coverage-based redundancy removal
+        kept: list[GAR] = []
+        removed: set[int] = set()
+        for i, g in enumerate(work):
+            redundant = False
+            for j, other in enumerate(work):
+                if i == j or j in removed:
+                    continue
+                if _covers(other, g, cmp) and not (_covers(g, other, cmp) and j > i):
+                    redundant = True
+                    break
+            if redundant:
+                removed.add(i)
+                changed = True
+            else:
+                kept.append(g)
+        work = kept
+        # drop any newly-empty results
+        before = len(work)
+        work = [g for g in work if not g.provably_empty(use_fm=cmp.use_fm)]
+        changed = changed or len(work) != before
+        if not changed:
+            break
+    return GARList(work)

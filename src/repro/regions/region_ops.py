@@ -1,0 +1,184 @@
+"""Set operations on regular array regions (paper section 3.1).
+
+Results are :class:`~repro.regions.gar.GARList`\\ s because intersections
+and differences of symbolic ranges split into guarded cases.  A
+:class:`~repro.symbolic.compare.Comparer` prunes cases that the guard
+context already decides — the paper's observation that "in practice the
+intersection is usually much simpler than the general formula indicates".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import RegionError
+from ..symbolic import Comparer, Predicate
+from .gar import GAR, GARList
+from .ranges import (
+    Range,
+    range_covers,
+    range_difference,
+    range_intersect,
+    range_union,
+)
+from .region import OMEGA_DIM, RegularRegion
+
+
+def _check_same_array(r1: RegularRegion, r2: RegularRegion) -> None:
+    if r1.array != r2.array:
+        raise RegionError(f"region operation across arrays {r1.array}/{r2.array}")
+    if r1.rank != r2.rank:
+        raise RegionError(
+            f"region operation across ranks {r1.rank}/{r2.rank} of {r1.array}"
+        )
+
+
+def region_intersect(
+    r1: RegularRegion, r2: RegularRegion, cmp: Comparer
+) -> GARList:
+    """``r1 ∩ r2`` as a GAR list.
+
+    An Ω dimension intersected with anything yields an Ω dimension and the
+    result is marked inexact (it over-approximates the true intersection).
+    """
+    _check_same_array(r1, r2)
+    exact = True
+    # per-dimension guarded alternatives
+    cases: list[list[tuple[Predicate, object]]] = []
+    for d1, d2 in zip(r1.dims, r2.dims):
+        if d1 is OMEGA_DIM and d2 is OMEGA_DIM:
+            exact = False
+            cases.append([(Predicate.true(), OMEGA_DIM)])
+        elif d1 is OMEGA_DIM:
+            exact = False
+            cases.append([(Predicate.true(), d2)])
+        elif d2 is OMEGA_DIM:
+            exact = False
+            cases.append([(Predicate.true(), d1)])
+        else:
+            pieces = range_intersect(d1, d2, cmp)
+            if pieces is None:
+                exact = False
+                cases.append([(Predicate.true(), OMEGA_DIM)])
+            elif not pieces:
+                return GARList.empty()
+            else:
+                cases.append([(p, rng) for p, rng in pieces])
+    out: list[GAR] = []
+
+    def build(i: int, guard: Predicate, dims: list[object]) -> None:
+        if guard.is_false():
+            return
+        if i == len(cases):
+            out.append(GAR(guard, RegularRegion(r1.array, dims), exact))
+            return
+        for pred, dim in cases[i]:
+            build(i + 1, guard & pred, dims + [dim])
+
+    build(0, Predicate.true(), [])
+    return GARList(out)
+
+
+def region_union(
+    r1: RegularRegion, r2: RegularRegion, cmp: Comparer
+) -> Optional[RegularRegion]:
+    """``r1 ∪ r2`` merged into a single region when provably possible.
+
+    Per the paper: merge only when representable as one regular region —
+    all dimensions equal except at most one, which merges as a range union.
+    ``None`` means "keep both" (always representable as a list).
+    """
+    _check_same_array(r1, r2)
+    if r1 == r2:
+        return r1
+    # containment shortcuts
+    if region_covers(r1, r2, cmp):
+        return r1
+    if region_covers(r2, r1, cmp):
+        return r2
+    differing: list[int] = []
+    for i, (d1, d2) in enumerate(zip(r1.dims, r2.dims)):
+        if d1 is OMEGA_DIM or d2 is OMEGA_DIM:
+            if d1 is not d2:
+                return None
+        elif d1 != d2:
+            differing.append(i)
+    if len(differing) != 1:
+        return None
+    i = differing[0]
+    d1, d2 = r1.dims[i], r2.dims[i]
+    assert isinstance(d1, Range) and isinstance(d2, Range)
+    merged = range_union(d1, d2, cmp)
+    if merged is None:
+        return None
+    return r1.with_dim(i, merged)
+
+
+def region_difference(
+    r1: RegularRegion, r2: RegularRegion, cmp: Comparer
+) -> Optional[GARList]:
+    """``r1 - r2`` by the paper's per-dimension recursion.
+
+    The identity used (valid for arbitrary operands, not only ``r2 ⊆ r1``)::
+
+        R1 - R2 = (r1_1 - r2_1, R1rest)  ∪  (r1_1 ∩ r2_1, R1rest - R2rest)
+
+    Returns ``None`` (Ω) when any per-dimension operation is
+    unrepresentable or an Ω dimension is involved — the caller must then
+    over-approximate the difference by ``r1`` marked inexact.
+
+    Assumes the *subtrahend is non-empty on the paths where it applies*;
+    GAR-level subtraction guarantees this because every GAR guard carries
+    its region's non-emptiness conditions (see :class:`~repro.regions.gar.GAR`).
+    """
+    _check_same_array(r1, r2)
+    if not r1.is_fully_known() or not r2.is_fully_known():
+        return None
+
+    def rec(dims1: tuple, dims2: tuple) -> Optional[list[tuple[Predicate, tuple]]]:
+        d1, d2 = dims1[0], dims2[0]
+        assert isinstance(d1, Range) and isinstance(d2, Range)
+        head_diff = range_difference(d1, d2, cmp)
+        if head_diff is None:
+            return None
+        out: list[tuple[Predicate, tuple]] = []
+        rest1 = dims1[1:]
+        for pred, rng in head_diff:
+            out.append((pred, (rng,) + rest1))
+        if len(dims1) > 1:
+            head_int = range_intersect(d1, d2, cmp)
+            if head_int is None:
+                return None
+            if head_int:
+                tail = rec(rest1, dims2[1:])
+                if tail is None:
+                    return None
+                for p_head, rng in head_int:
+                    for p_tail, dims_tail in tail:
+                        out.append((p_head & p_tail, (rng,) + dims_tail))
+        return out
+
+    pieces = rec(r1.dims, r2.dims)
+    if pieces is None:
+        return None
+    return GARList(
+        GAR(pred, RegularRegion(r1.array, dims))
+        for pred, dims in pieces
+        if not pred.is_false()
+    )
+
+
+def region_covers(r1: RegularRegion, r2: RegularRegion, cmp: Comparer) -> bool:
+    """Provably ``r2 ⊆ r1`` dimension-wise (Ω in r1 covers anything along
+    that dimension only if r2 is also Ω there — conservative)."""
+    if r1.array != r2.array or r1.rank != r2.rank:
+        return False
+    for d1, d2 in zip(r1.dims, r2.dims):
+        if d1 is OMEGA_DIM:
+            continue  # unknown extent: cannot certify, but Ω means "maybe all"
+        if d2 is OMEGA_DIM:
+            return False
+        if not range_covers(d1, d2, cmp):
+            return False
+    # Ω dims in r1 make "covers" uncertain; require full knowledge for True
+    return r1.is_fully_known()

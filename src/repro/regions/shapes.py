@@ -1,0 +1,171 @@
+"""Non-rectangular regions via dimension symbols (paper section 5.3).
+
+The paper's extension for triangular/diagonal shapes: introduce a special
+symbol ψ_i for each dimension *i* and let the guard constrain the
+coordinates themselves — ``[ψ1 = ψ2, A(1:n, 1:n)]`` is the diagonal,
+``[ψ1 <= ψ2, A(1:n, 1:n)]`` an upper triangle.  A predicate may then mix
+two kinds of conditions: shape conditions over ψ symbols and ordinary
+access conditions.
+
+The paper notes its privatization experiments never needed this; here it
+is provided as the documented optional feature it describes.  Shaped GARs
+compose with the ordinary GAR operations (guards conjoin, regions
+intersect per dimension); this module adds the pieces that must know
+about ψ:
+
+* construction helpers (:func:`diagonal`, :func:`triangle`, :func:`band`),
+* membership and enumeration (bind ψ_i to the candidate coordinates),
+* an emptiness test that bounds each ψ_i by its dimension's range before
+  calling the Fourier–Motzkin engine.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..symbolic import (
+    Comparer,
+    ExprLike,
+    Predicate,
+    Relation,
+    SymExpr,
+    definitely_unsat,
+)
+from .gar import GAR
+from .ranges import Range
+from .region import RegularRegion
+
+#: dimension symbols use a name no Fortran identifier can collide with
+_PSI_PREFIX = "psi%"
+
+
+def dim_symbol(dimension: int) -> SymExpr:
+    """The ψ symbol of a (1-based) dimension."""
+    if dimension < 1:
+        raise ValueError("dimensions are 1-based")
+    return SymExpr.var(f"{_PSI_PREFIX}{dimension}")
+
+
+def is_dim_symbol(name: str) -> bool:
+    """Is *name* a ψ dimension symbol?"""
+    return name.startswith(_PSI_PREFIX)
+
+
+def shape_symbols(gar: GAR) -> frozenset[str]:
+    """The ψ symbols appearing in a GAR's guard."""
+    return frozenset(n for n in gar.guard.free_vars() if is_dim_symbol(n))
+
+
+def is_shaped(gar: GAR) -> bool:
+    """Does the GAR's guard constrain coordinates via ψ symbols?"""
+    return bool(shape_symbols(gar))
+
+
+# -- constructors ---------------------------------------------------------------
+
+
+def shaped(guard: Predicate, region: RegularRegion) -> GAR:
+    """A GAR whose guard may constrain coordinates through ψ symbols.
+
+    Shaped GARs are marked inexact for the *rectangular* machinery (their
+    rectangular region over-approximates the true set), which keeps every
+    ordinary GAR operation sound without modification: a shaped MOD never
+    kills, a shaped UE only over-exposes.
+    """
+    return GAR(guard, region, exact=False)
+
+
+def diagonal(array: str, n: ExprLike) -> GAR:
+    """``A(i, i), i = 1..n`` as ``[ψ1 = ψ2, A(1:n, 1:n)]``."""
+    guard = Predicate.eq(dim_symbol(1), dim_symbol(2))
+    return shaped(guard, RegularRegion(array, [Range(1, n), Range(1, n)]))
+
+
+def triangle(array: str, n: ExprLike, upper: bool = True) -> GAR:
+    """Upper (``ψ1 <= ψ2``) or lower triangle of an n×n array."""
+    if upper:
+        guard = Predicate.le(dim_symbol(1), dim_symbol(2))
+    else:
+        guard = Predicate.ge(dim_symbol(1), dim_symbol(2))
+    return shaped(guard, RegularRegion(array, [Range(1, n), Range(1, n)]))
+
+
+def band(array: str, n: ExprLike, width: ExprLike) -> GAR:
+    """Band matrix: ``|ψ1 - ψ2| <= width``."""
+    d1, d2 = dim_symbol(1), dim_symbol(2)
+    guard = Predicate.le(d1 - d2, width) & Predicate.le(d2 - d1, width)
+    return shaped(guard, RegularRegion(array, [Range(1, n), Range(1, n)]))
+
+
+# -- semantics ---------------------------------------------------------------------
+
+
+def _psi_bindings(idx: tuple[int, ...]) -> dict[str, int]:
+    return {f"{_PSI_PREFIX}{k}": value for k, value in enumerate(idx, start=1)}
+
+
+def contains(gar: GAR, idx: tuple[int, ...], env: Mapping[str, int]) -> bool:
+    """Is the element *idx* in the shaped GAR under *env*?"""
+    if gar.guard.is_unknown():
+        raise ValueError("cannot decide membership under an unknown guard")
+    full_env = dict(env)
+    full_env.update(_psi_bindings(idx))
+    if not gar.guard.evaluate(full_env):
+        return False
+    if not gar.region.is_fully_known():
+        raise ValueError("cannot decide membership with unknown dimensions")
+    return idx in gar.region.enumerate(env)
+
+
+def enumerate_shaped(gar: GAR, env: Mapping[str, int]) -> set[tuple[int, ...]]:
+    """All elements of a shaped GAR under *env* (test oracle)."""
+    if gar.guard.is_unknown():
+        raise ValueError("cannot enumerate an unknown guard")
+    out = set()
+    for idx in gar.region.enumerate(env):
+        full_env = dict(env)
+        full_env.update(_psi_bindings(idx))
+        if gar.guard.evaluate(full_env):
+            out.add(idx)
+    return out
+
+
+def shaped_provably_empty(gar: GAR, cmp: Optional[Comparer] = None) -> bool:
+    """Emptiness of a shaped GAR: the guard's unit atoms plus each ψ's
+    dimension bounds must be jointly unsatisfiable."""
+    if gar.guard.is_false():
+        return True
+    if not gar.guard.is_cnf():
+        return False
+    atoms = list(gar.guard.unit_atoms())
+    for k, dim in enumerate(gar.region.dims, start=1):
+        if isinstance(dim, Range):
+            psi = dim_symbol(k)
+            atoms.append(Relation.ge(psi, dim.lo))
+            atoms.append(Relation.le(psi, dim.hi))
+    return definitely_unsat(atoms)
+
+
+def shaped_intersect_empty(a: GAR, b: GAR) -> bool:
+    """Provably disjoint shaped GARs of the same array.
+
+    Intersection conjoins the guards (ψ symbols refer to the *element
+    coordinates*, shared between operands) and intersects the rectangles;
+    the combined system is then tested for satisfiability.
+    """
+    if a.array != b.array or a.region.rank != b.region.rank:
+        return True
+    if not (a.guard.is_cnf() or a.guard.is_true()) or not (
+        b.guard.is_cnf() or b.guard.is_true()
+    ):
+        return False
+    atoms = list(a.guard.unit_atoms()) + list(b.guard.unit_atoms())
+    for k, (d1, d2) in enumerate(zip(a.region.dims, b.region.dims), start=1):
+        psi = dim_symbol(k)
+        for dim in (d1, d2):
+            if isinstance(dim, Range):
+                atoms.append(Relation.ge(psi, dim.lo))
+                atoms.append(Relation.le(psi, dim.hi))
+            else:
+                return False  # unknown extent: cannot certify disjointness
+    return definitely_unsat(atoms)

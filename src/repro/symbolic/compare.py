@@ -1,0 +1,142 @@
+"""Symbolic comparison of expressions under a predicate context.
+
+Region operations constantly need to answer questions like "is ``l1 <= l2``
+given the guard so far?" (see the intersection case split of section 3.1).
+:class:`Comparer` layers three strategies, cheapest first:
+
+1. constant folding of the difference,
+2. the pairwise implication tests of the limited simplifier,
+3. Fourier–Motzkin refutation using the unit atoms of the context.
+
+Every answer is three-valued: ``True`` / ``False`` are proofs, ``None``
+means "cannot tell" and the caller must keep the symbolic case split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .expr import ExprLike, SymExpr
+from .fourier_motzkin import definitely_unsat, implied_by
+from .predicate import Predicate
+from .relation import Atom, Relation
+
+
+class Comparer:
+    """Answers ordered comparisons between symbolic expressions under a
+    guard context.  Instances are cheap; they hold only the context atoms."""
+
+    def __init__(
+        self,
+        context: Predicate | None = None,
+        use_fm: bool = True,
+        symbolic: bool = True,
+    ):
+        self.context = context if context is not None else Predicate.true()
+        self.use_fm = use_fm
+        #: with symbolic reasoning off (the T1 ablation of the paper's
+        #: Table 1) only constant folding is available
+        self.symbolic = symbolic
+        self._context_atoms: list[Atom] = (
+            self.context.unit_atoms() if self.context.is_cnf() else []
+        )
+
+    # -- core three-valued proof ------------------------------------------------
+
+    def prove(self, relation: Relation) -> Optional[bool]:
+        """Prove or refute a relation under the context; None if unknown."""
+        t = relation.truth()
+        if t is not None:
+            return t
+        if not self.symbolic:
+            return None
+        for atom in self._context_atoms:
+            r = atom.implies(relation)
+            if r is True:
+                return True
+            if atom.implies(relation.negate()) is True:
+                return False
+        if self.use_fm:
+            if implied_by(self._context_atoms, relation):
+                return True
+            if implied_by(self._context_atoms, relation.negate()):
+                return False
+        return None
+
+    # -- relational sugar ----------------------------------------------------------
+
+    def le(self, a: ExprLike, b: ExprLike) -> Optional[bool]:
+        """Prove ``a <= b``; three-valued."""
+        return self.prove(Relation.le(a, b))
+
+    def lt(self, a: ExprLike, b: ExprLike) -> Optional[bool]:
+        """Prove ``a < b``; three-valued."""
+        return self.prove(Relation.lt(a, b))
+
+    def ge(self, a: ExprLike, b: ExprLike) -> Optional[bool]:
+        """Prove ``a >= b``; three-valued."""
+        return self.prove(Relation.ge(a, b))
+
+    def gt(self, a: ExprLike, b: ExprLike) -> Optional[bool]:
+        """Prove ``a > b``; three-valued."""
+        return self.prove(Relation.gt(a, b))
+
+    def eq(self, a: ExprLike, b: ExprLike) -> Optional[bool]:
+        """Prove ``a == b``; three-valued."""
+        a = SymExpr.coerce(a)
+        b = SymExpr.coerce(b)
+        if a == b:
+            return True
+        return self.prove(Relation.eq(a, b))
+
+    def ne(self, a: ExprLike, b: ExprLike) -> Optional[bool]:
+        """Prove ``a != b``; three-valued."""
+        r = self.eq(a, b)
+        return None if r is None else not r
+
+    # -- context satisfiability -------------------------------------------------------
+
+    def context_unsat(self) -> bool:
+        """True when the context's unit atoms are jointly unsatisfiable."""
+        if self.context.is_false():
+            return True
+        if not self.use_fm:
+            return False
+        return definitely_unsat(self._context_atoms)
+
+    def refine(self, extra: Predicate) -> "Comparer":
+        """A comparer whose context additionally assumes *extra*."""
+        if extra.is_true() or not self.symbolic:
+            return self
+        return Comparer(
+            self.context & extra, use_fm=self.use_fm, symbolic=self.symbolic
+        )
+
+
+def predicate_unsat(pred: Predicate, use_fm: bool = True) -> bool:
+    """Provably unsatisfiable predicate (beyond its own normalization).
+
+    Only the unit-clause conjunction is consulted — dropping non-unit
+    clauses weakens the predicate, so a True result remains sound.
+    """
+    if pred.is_false():
+        return True
+    if not pred.is_cnf() or not use_fm:
+        return False
+    return definitely_unsat(pred.unit_atoms())
+
+
+def predicate_implies(p: Predicate, q: Predicate, use_fm: bool = True) -> bool:
+    """Provable ``p => q``; False means "not proven" (not a refutation)."""
+    direct = p.implies(q)
+    if direct is not None:
+        return direct
+    if not use_fm or not p.is_cnf() or not q.is_cnf():
+        return False
+    context = p.unit_atoms()
+    # q holds if every clause of q is implied; for unit clauses use FM,
+    # for wider clauses require some atom individually implied.
+    for clause in q.clauses:
+        if not any(implied_by(context, atom) for atom in clause.atoms):
+            return False
+    return True

@@ -1,0 +1,74 @@
+"""Concrete evaluation environments.
+
+Used by the test oracles (enumerate a region concretely and compare with
+the symbolic set algebra) and by the machine model (plug benchmark problem
+sizes into symbolic trip counts).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SymbolicError
+from .expr import SymExpr
+from .predicate import Predicate
+
+
+class Env(Mapping[str, int]):
+    """An immutable variable -> integer binding map.
+
+    Logical variables are bound to 0 (false) / 1 (true).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, int] | None = None, **kw: int):
+        merged = dict(values or {})
+        merged.update(kw)
+        self._values = {k: int(v) for k, v in merged.items()}
+
+    def __getitem__(self, key: str) -> int:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def extend(self, **kw: int) -> "Env":
+        """A new environment with extra/overridden bindings."""
+        merged = dict(self._values)
+        merged.update({k: int(v) for k, v in kw.items()})
+        return Env(merged)
+
+    def eval_expr(self, expr: SymExpr) -> int:
+        """Evaluate an expression to an integer (raises if fractional)."""
+        value = expr.evaluate(self)
+        if isinstance(value, Fraction) and value.denominator != 1:
+            raise SymbolicError(f"{expr} is not integer under {self._values}")
+        return int(value)
+
+    def eval_pred(self, pred: Predicate) -> bool:
+        """Evaluate a predicate to a boolean."""
+        return pred.evaluate(self)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Env({inner})"
+
+
+def all_envs(names: Iterable[str], lo: int, hi: int) -> Iterator[Env]:
+    """Every environment binding *names* to values in ``[lo, hi]``.
+
+    Exponential — intended for small exhaustive test oracles only.
+    """
+    names = list(names)
+    if not names:
+        yield Env()
+        return
+    head, *tail = names
+    for value in range(lo, hi + 1):
+        for rest in all_envs(tail, lo, hi):
+            yield rest.extend(**{head: value})

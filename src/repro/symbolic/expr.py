@@ -1,0 +1,291 @@
+"""Integer symbolic expressions as an ordered sum of products.
+
+This is the "general expression operation library" of the paper's Figure 2:
+addition, subtraction, multiplication, and division by an integer constant,
+over expressions normalized to an ordered sum of products.  Coefficients are
+exact rationals (:class:`fractions.Fraction`) so constant division never
+loses information; expressions that appear in array subscripts are integer
+valued in well-formed programs.
+
+Expressions are immutable and hashable, so they can be used as dictionary
+keys throughout the region and predicate layers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional, Tuple, Union
+
+from ..errors import SymbolicError
+from .terms import Monomial
+
+Number = Union[int, Fraction]
+ExprLike = Union["SymExpr", int, Fraction, str]
+
+
+class SymExpr:
+    """An immutable symbolic integer expression.
+
+    Stored as a mapping from :class:`Monomial` to a nonzero rational
+    coefficient.  The zero expression has an empty mapping.
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, Number] | None = None) -> None:
+        clean: dict[Monomial, Fraction] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                c = coeff if type(coeff) is Fraction else Fraction(coeff)
+                if c:
+                    if mono in clean:
+                        c = clean[mono] + c
+                        if c:
+                            clean[mono] = c
+                        else:
+                            del clean[mono]
+                    else:
+                        clean[mono] = c
+        self._terms: Tuple[Tuple[Monomial, Fraction], ...] = tuple(
+            sorted(clean.items(), key=lambda kv: kv[0].sort_key())
+        )
+        self._hash = hash(self._terms)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def const(cls, value: Number) -> "SymExpr":
+        return cls({Monomial.unit(): Fraction(value)})
+
+    @classmethod
+    def var(cls, name: str) -> "SymExpr":
+        return cls({Monomial.var(name): Fraction(1)})
+
+    @classmethod
+    def coerce(cls, value: ExprLike) -> "SymExpr":
+        """Accept an expression, a number, or a variable name."""
+        if isinstance(value, SymExpr):
+            return value
+        if isinstance(value, (int, Fraction)):
+            return cls.const(value)
+        if isinstance(value, str):
+            return cls.var(value)
+        raise TypeError(f"cannot coerce {value!r} to SymExpr")
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def terms(self) -> Tuple[Tuple[Monomial, Fraction], ...]:
+        return self._terms
+
+    def is_zero(self) -> bool:
+        """True for the zero expression."""
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        """True when no symbolic variables occur."""
+        return all(m.is_unit() for m, _ in self._terms)
+
+    def constant_value(self) -> Optional[Fraction]:
+        """The value if constant, else ``None``."""
+        if not self._terms:
+            return Fraction(0)
+        if len(self._terms) == 1 and self._terms[0][0].is_unit():
+            return self._terms[0][1]
+        return None
+
+    def constant_term(self) -> Fraction:
+        """Coefficient of the unit monomial (0 if absent)."""
+        for mono, coeff in self._terms:
+            if mono.is_unit():
+                return coeff
+        return Fraction(0)
+
+    def non_constant_part(self) -> "SymExpr":
+        """The expression minus its constant term."""
+        return SymExpr({m: c for m, c in self._terms if not m.is_unit()})
+
+    def free_vars(self) -> frozenset[str]:
+        """All symbolic variable names occurring in the expression."""
+        out: set[str] = set()
+        for mono, _ in self._terms:
+            out |= mono.variables()
+        return frozenset(out)
+
+    def contains(self, name: str) -> bool:
+        """Does the variable *name* occur anywhere?"""
+        return any(mono.contains(name) for mono, _ in self._terms)
+
+    def degree(self) -> int:
+        """Maximum total degree over the monomials."""
+        return max((m.degree() for m, _ in self._terms), default=0)
+
+    def is_linear(self) -> bool:
+        """Degree at most 1: affine in the symbolic variables."""
+        return self.degree() <= 1
+
+    def is_linear_in(self, name: str) -> bool:
+        """Every monomial containing *name* is exactly that variable."""
+        for mono, _ in self._terms:
+            if mono.contains(name) and not (
+                mono.is_linear_var() and mono.power_of(name) == 1
+            ):
+                return False
+        return True
+
+    def coeff_of_var(self, name: str) -> Fraction:
+        """Coefficient of the plain variable *name* (degree-1 monomial)."""
+        target = Monomial.var(name)
+        for mono, coeff in self._terms:
+            if mono == target:
+                return coeff
+        return Fraction(0)
+
+    def coeff_of(self, mono: Monomial) -> Fraction:
+        """Coefficient of an arbitrary monomial (0 if absent)."""
+        for m, c in self._terms:
+            if m == mono:
+                return c
+        return Fraction(0)
+
+    def monomials(self) -> Tuple[Monomial, ...]:
+        """The monomials in canonical order."""
+        return tuple(m for m, _ in self._terms)
+
+    def has_integer_coeffs(self) -> bool:
+        """Are all coefficients integers?"""
+        return all(c.denominator == 1 for _, c in self._terms)
+
+    # -- algebra --------------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "SymExpr":
+        other = SymExpr.coerce(other)
+        merged = dict(self._terms)
+        for mono, coeff in other._terms:
+            merged[mono] = merged.get(mono, Fraction(0)) + coeff
+        return SymExpr(merged)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "SymExpr":
+        return SymExpr({m: -c for m, c in self._terms})
+
+    def __sub__(self, other: ExprLike) -> "SymExpr":
+        return self + (-SymExpr.coerce(other))
+
+    def __rsub__(self, other: ExprLike) -> "SymExpr":
+        return SymExpr.coerce(other) - self
+
+    def __mul__(self, other: ExprLike) -> "SymExpr":
+        other = SymExpr.coerce(other)
+        out: dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms:
+            for m2, c2 in other._terms:
+                mono = m1 * m2
+                out[mono] = out.get(mono, Fraction(0)) + c1 * c2
+        return SymExpr(out)
+
+    __rmul__ = __mul__
+
+    def div_const(self, divisor: Number) -> "SymExpr":
+        """Division by a nonzero integer (or rational) constant.
+
+        This is the only division the paper's expression library supports.
+        """
+        d = Fraction(divisor)
+        if not d:
+            raise SymbolicError("division of symbolic expression by zero")
+        return SymExpr({m: c / d for m, c in self._terms})
+
+    def scaled(self, factor: Number) -> "SymExpr":
+        """The expression multiplied by a rational constant."""
+        return SymExpr({m: c * Fraction(factor) for m, c in self._terms})
+
+    # -- substitution / evaluation ---------------------------------------------
+
+    def substitute(self, bindings: Mapping[str, "SymExpr"]) -> "SymExpr":
+        """Simultaneous substitution of variables by expressions."""
+        if not bindings or not (self.free_vars() & set(bindings)):
+            return self
+        result = SymExpr()
+        for mono, coeff in self._terms:
+            piece = SymExpr.const(coeff)
+            for name, power in mono:
+                repl = bindings.get(name)
+                base = repl if repl is not None else SymExpr.var(name)
+                for _ in range(power):
+                    piece = piece * base
+            result = result + piece
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "SymExpr":
+        """Variable-for-variable renaming."""
+        return self.substitute({old: SymExpr.var(new) for old, new in mapping.items()})
+
+    def evaluate(self, env: Mapping[str, int]) -> Fraction:
+        """Evaluate under a concrete integer environment.
+
+        Raises ``KeyError`` when a free variable is unbound.
+        """
+        total = Fraction(0)
+        for mono, coeff in self._terms:
+            total += coeff * mono.evaluate(env)
+        return total
+
+    def evaluate_int(self, env: Mapping[str, int]) -> int:
+        """Evaluate and require an integer result."""
+        value = self.evaluate(env)
+        if value.denominator != 1:
+            raise SymbolicError(f"{self} evaluates to non-integer {value}")
+        return value.numerator
+
+    # -- misc -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = SymExpr.const(other)
+        return isinstance(other, SymExpr) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"SymExpr<{self}>"
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for mono, coeff in self._terms:
+            if mono.is_unit():
+                text = str(coeff)
+            elif coeff == 1:
+                text = str(mono)
+            elif coeff == -1:
+                text = f"-{mono}"
+            else:
+                text = f"{coeff}*{mono}"
+            if parts and not text.startswith("-"):
+                parts.append("+" + text)
+            else:
+                parts.append(text)
+        return "".join(parts)
+
+
+ZERO = SymExpr()
+ONE = SymExpr.const(1)
+
+
+def sym(value: ExprLike) -> SymExpr:
+    """Convenience coercion used pervasively in tests and examples."""
+    return SymExpr.coerce(value)
+
+
+def sym_min_max_free(exprs: Iterable[SymExpr]) -> bool:
+    """All expressions are plain sums of products (no min/max markers).
+
+    The library never embeds min/max operators inside expressions (the
+    paper replaces them with explicit inequalities in guards); this helper
+    documents and checks that invariant at API boundaries.
+    """
+    return all(isinstance(e, SymExpr) for e in exprs)

@@ -1,0 +1,206 @@
+"""Fourier–Motzkin elimination over linear atom conjunctions.
+
+The paper cites Fourier–Motzkin pairwise elimination as the general (most
+precise, most expensive) machinery behind constraint-based array analyses
+and suggests it as the stronger fallback for its limited pairwise predicate
+simplifier.  This module provides exactly that fallback: a decision
+procedure for *unsatisfiability* of a conjunction of relational atoms.
+
+Nonlinear monomials are linearized by treating each distinct monomial as an
+independent fresh variable.  Linearization only ever adds models, therefore:
+
+* ``definitely_unsat(atoms) is True``  — sound: the conjunction has no
+  solution (in fact no rational solution of the linearization).
+* a ``False`` result means "could not prove unsatisfiable", not
+  "satisfiable".
+
+Strict inequalities (real-typed ``<``) are tracked with a strictness bit;
+a derived constant constraint ``c <= 0`` is infeasible when ``c > 0``, or
+``c >= 0`` if any contributing constraint was strict.
+
+Disequalities (``e != 0``) are handled by case-splitting (into
+``e <= -1`` / ``e >= 1`` for integer atoms, ``e < 0`` / ``e > 0`` for real
+ones) up to a small bound, after which they are dropped — dropping only
+weakens the system, so a True result remains trustworthy.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+from .expr import SymExpr
+from .relation import Atom, BoolAtom, Relation, RelOp
+
+#: elimination effort caps
+MAX_VARIABLES = 24
+MAX_CONSTRAINTS = 600
+MAX_NE_SPLITS = 3
+
+
+class _Constraint:
+    """``coeffs . vars + const <= 0`` (or ``< 0`` when strict)."""
+
+    __slots__ = ("coeffs", "const", "strict")
+
+    def __init__(
+        self, coeffs: dict[object, Fraction], const: Fraction, strict: bool = False
+    ) -> None:
+        self.coeffs = {k: v for k, v in coeffs.items() if v}
+        self.const = const
+        self.strict = strict
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def infeasible(self) -> bool:
+        if not self.is_constant():
+            return False
+        return self.const > 0 or (self.strict and self.const >= 0)
+
+
+def _to_constraint(expr: SymExpr, strict: bool = False) -> _Constraint:
+    coeffs: dict[object, Fraction] = {}
+    const = Fraction(0)
+    for mono, coeff in expr.terms:
+        if mono.is_unit():
+            const += coeff
+        else:
+            # the monomial object itself is the linearized variable key
+            coeffs[mono] = coeffs.get(mono, Fraction(0)) + coeff
+    return _Constraint(coeffs, const, strict)
+
+
+def _eliminate(constraints: list[_Constraint]) -> Optional[bool]:
+    """Run FM elimination; True = infeasible, False = feasible (rationally),
+    None = gave up (too large)."""
+    work = list(constraints)
+    while True:
+        for c in work:
+            if c.infeasible():
+                return True
+        work = [c for c in work if not c.is_constant()]
+        if not work:
+            return False
+        variables = {v for c in work for v in c.coeffs}
+        if len(variables) > MAX_VARIABLES or len(work) > MAX_CONSTRAINTS:
+            return None
+
+        # choose the variable with the fewest pos*neg products
+        def cost(v: object) -> int:
+            pos = sum(1 for c in work if c.coeffs.get(v, 0) > 0)
+            neg = sum(1 for c in work if c.coeffs.get(v, 0) < 0)
+            return pos * neg
+
+        var = min(variables, key=cost)
+        uppers = []  # coeff > 0: var bounded above
+        lowers = []  # coeff < 0: var bounded below
+        others = []
+        for c in work:
+            coeff = c.coeffs.get(var, Fraction(0))
+            if coeff > 0:
+                uppers.append(c)
+            elif coeff < 0:
+                lowers.append(c)
+            else:
+                others.append(c)
+        new = others
+        for up in uppers:
+            for lo in lowers:
+                a = up.coeffs[var]
+                b = -lo.coeffs[var]
+                # combine: b*up + a*lo eliminates var
+                coeffs: dict[object, Fraction] = {}
+                for k, v in up.coeffs.items():
+                    coeffs[k] = coeffs.get(k, Fraction(0)) + b * v
+                for k, v in lo.coeffs.items():
+                    coeffs[k] = coeffs.get(k, Fraction(0)) + a * v
+                const = b * up.const + a * lo.const
+                c = _Constraint(coeffs, const, up.strict or lo.strict)
+                if c.infeasible():
+                    return True
+                if not c.is_constant():
+                    new.append(c)
+        if len(new) > MAX_CONSTRAINTS:
+            return None
+        work = new
+
+
+def _atoms_to_systems(
+    atoms: Sequence[Relation], splits_left: int
+) -> Iterable[list[_Constraint]]:
+    """Expand EQ into two LE's and case-split NE's into alternative systems."""
+    base: list[_Constraint] = []
+    nes: list[Relation] = []
+    for atom in atoms:
+        if atom.op is RelOp.LE:
+            base.append(_to_constraint(atom.expr))
+        elif atom.op is RelOp.LT:
+            base.append(_to_constraint(atom.expr, strict=True))
+        elif atom.op is RelOp.EQ:
+            base.append(_to_constraint(atom.expr))
+            base.append(_to_constraint(-atom.expr))
+        else:  # NE
+            nes.append(atom)
+    nes = nes[:splits_left]  # drop extras (weakens the system: still sound)
+    systems = [base]
+    for rel in nes:
+        if rel.integer:
+            lo = _to_constraint(rel.expr + 1)  # e <= -1
+            hi = _to_constraint(-rel.expr + 1)  # e >= 1
+        else:
+            lo = _to_constraint(rel.expr, strict=True)  # e < 0
+            hi = _to_constraint(-rel.expr, strict=True)  # e > 0
+        systems = [s + [lo] for s in systems] + [s + [hi] for s in systems]
+    return systems
+
+
+def definitely_unsat(atoms: Iterable[Atom]) -> bool:
+    """True only when the conjunction of *atoms* is provably unsatisfiable.
+
+    Results are memoized on the atom set — the region operations issue the
+    same queries many times during propagation.
+    """
+    key = frozenset(atoms)
+    cached = _UNSAT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _definitely_unsat(key)
+    if len(_UNSAT_CACHE) > _UNSAT_CACHE_LIMIT:
+        _UNSAT_CACHE.clear()
+    _UNSAT_CACHE[key] = result
+    return result
+
+
+_UNSAT_CACHE: dict[frozenset, bool] = {}
+_UNSAT_CACHE_LIMIT = 200_000
+
+
+def _definitely_unsat(atoms: frozenset) -> bool:
+    relations: list[Relation] = []
+    bools: dict[str, bool] = {}
+    for atom in atoms:
+        if isinstance(atom, BoolAtom):
+            if atom.name in bools and bools[atom.name] != atom.value:
+                return True
+            bools[atom.name] = atom.value
+        else:
+            t = atom.truth()
+            if t is False:
+                return True
+            if t is None:
+                relations.append(atom)
+    if not relations:
+        return False
+    for system in _atoms_to_systems(relations, MAX_NE_SPLITS):
+        if _eliminate(system) is not True:
+            return False
+    return True
+
+
+def implied_by(context: Iterable[Atom], conclusion: Atom) -> bool:
+    """True only when ``AND(context) => conclusion`` is provable.
+
+    Checked as unsatisfiability of ``context AND NOT conclusion``.
+    """
+    return definitely_unsat(list(context) + [conclusion.negate()])

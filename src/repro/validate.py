@@ -1,0 +1,302 @@
+"""Empirical validation of the analysis against concrete executions.
+
+The strongest form of testing this reproduction has: run a kernel in the
+concrete interpreter, collect its per-iteration access trace for a chosen
+DO loop, and check the symbolic analysis' claims against reality:
+
+1. **MOD_i over-approximates** — every location actually written in
+   iteration ``i`` lies in the symbolic ``MOD_i`` evaluated at ``i``;
+2. **UE_i over-approximates** — every location read in iteration ``i``
+   before being written in that iteration lies in the symbolic ``UE_i``;
+3. **privatization soundness** — if the analysis declares a variable
+   privatizable, the trace contains no cross-iteration flow: no exposed
+   read of a location last written by an *earlier* iteration.
+
+Symbolic sets are evaluated extensionally under the loop-entry values of
+the routine's scalars.  A GAR whose guard or region mentions symbols with
+no concrete value (opaque ``@`` symbols) cannot be enumerated; it is
+treated as "may cover anything", which can only make checks 1–2 pass
+vacuously for that variable — recorded as ``skipped`` so tests can
+require a minimum of non-vacuous coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .dataflow import SummaryAnalyzer
+from .dataflow.context import LoopSummaryRecord
+from .fortran import analyze, parse_program
+from .fortran.interp import AccessEvent, Interpreter
+from .hsg import build_hsg
+from .privatize import privatize_loop
+from .regions import GARList
+
+
+@dataclass
+class IterationTrace:
+    """Accesses of one iteration of the target loop, per variable name."""
+
+    index_value: int
+    writes: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
+    exposed_reads: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
+    #: reads NOT followed by a write to the same location later in the
+    #: iteration (the dynamic counterpart of DE_i)
+    downward_reads: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
+
+
+@dataclass
+class ValidationReport:
+    routine: str
+    var: str
+    iterations: list[IterationTrace]
+    #: claim violations, each a human-readable string; empty = validated
+    violations: list[str] = field(default_factory=list)
+    #: per-variable checks skipped because a summary GAR was not
+    #: concretely evaluable (opaque symbols)
+    skipped: set[str] = field(default_factory=set)
+    #: variables with fully validated MOD_i/UE_i containment
+    checked: set[str] = field(default_factory=set)
+    #: privatizable variables whose traces were verified flow-free
+    privatization_checked: set[str] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class _LoopTraceCollector:
+    """Observer assigning access events to iterations of one target loop."""
+
+    def __init__(self, target_loop) -> None:
+        self.target_loop = target_loop
+        self.iterations: list[IterationTrace] = []
+        self.current: Optional[IterationTrace] = None
+        self._written_this_iter: set[tuple[int, tuple]] = set()
+        #: ordered (kind, payload) event log of the current iteration
+        self._events: list[tuple[str, object]] = []
+        #: (storage id, index) -> index of the iteration that last wrote it
+        self.last_writer: dict[tuple[int, tuple], int] = {}
+        #: exposed reads whose location was written by an earlier iteration
+        self.cross_iteration_flow: dict[str, set[tuple]] = {}
+        self._names: dict[int, str] = {}
+        #: strong references to every observed storage object: ``id()``
+        #: values must stay unique for the whole run (short-lived callee
+        #: locals would otherwise free their ids for later storages)
+        self._storages: dict[int, object] = {}
+
+    # -- interpreter hooks ---------------------------------------------------
+
+    def loop_hook(self, routine: str, loop, value: int, phase: str) -> None:
+        if loop is not self.target_loop:
+            return
+        self._finish_iteration()
+        if phase == "iter":
+            self.current = IterationTrace(value)
+            self.iterations.append(self.current)
+            self._written_this_iter = set()
+            self._events = []
+        else:  # exit
+            self.current = None
+
+    def _finish_iteration(self) -> None:
+        """Derive downward-exposed reads: reversed scan over the event log
+        keeps reads with no later write to the same location."""
+        if self.current is None:
+            return
+        killed: set[tuple[int, tuple]] = set()
+        for kind, payload in reversed(self._events):
+            sid, idx = payload
+            if kind == "w":
+                killed.add(payload)
+            elif payload not in killed:
+                self.current.downward_reads.setdefault(sid, set()).add(idx)
+
+    def observe(self, event: AccessEvent) -> None:
+        if self.current is None:
+            return
+        sid = id(event.storage)
+        self._storages.setdefault(sid, event.storage)
+        self._names.setdefault(sid, event.name)
+        # scalars are modeled as rank-1 single-cell regions by the analysis
+        index = event.index if event.is_array else (1,)
+        key = (sid, index)
+        if event.kind == "write":
+            self.current.writes.setdefault(sid, set()).add(index)
+            self._written_this_iter.add(key)
+            self.last_writer[key] = len(self.iterations) - 1
+            self._events.append(("w", key))
+            return
+        self._events.append(("r", key))
+        if key not in self._written_this_iter:
+            self.current.exposed_reads.setdefault(sid, set()).add(index)
+            writer = self.last_writer.get(key)
+            if writer is not None and writer < len(self.iterations) - 1:
+                self.cross_iteration_flow.setdefault(sid, set()).add(index)
+
+    def finalize(self, name_of: dict[int, str]) -> None:
+        """Re-key every trace from storage identity to *caller* names.
+
+        Accesses to storage invisible in the target routine's frame
+        (callee locals and temporaries) are dropped — they have no
+        caller-visible summary by design.
+        """
+
+        def rekey(table: dict) -> dict:
+            out: dict[str, set] = {}
+            for sid, indices in table.items():
+                name = name_of.get(sid)
+                if name is not None:
+                    out.setdefault(name, set()).update(indices)
+            return out
+
+        for trace in self.iterations:
+            trace.writes = rekey(trace.writes)
+            trace.exposed_reads = rekey(trace.exposed_reads)
+            trace.downward_reads = rekey(trace.downward_reads)
+        self.cross_iteration_flow = rekey(self.cross_iteration_flow)
+
+
+def _enumerate_gars(
+    gars: GARList, env: Mapping[str, int]
+) -> Optional[set[tuple[int, ...]]]:
+    """Concrete element set, or ``None`` if any GAR is unevaluable."""
+    out: set[tuple[int, ...]] = set()
+    for gar in gars:
+        if gar.guard.is_unknown() or not gar.region.is_fully_known():
+            return None
+        try:
+            if not gar.guard.evaluate(env):
+                continue
+            out |= gar.region.enumerate(env)
+        except KeyError:
+            return None  # a symbol (e.g. an opaque) has no concrete value
+    return out
+
+
+def validate_loop(
+    source: str,
+    routine: str,
+    var: str,
+    args: Mapping[str, object],
+    env: Mapping[str, int] | None = None,
+    occurrence: int = 0,
+) -> ValidationReport:
+    """Run *routine* concretely and validate the analysis of loop *var*.
+
+    ``args`` are the concrete dummy-argument values; ``env`` supplies the
+    integer/logical bindings used to evaluate symbolic summaries (defaults
+    to the integer- and bool-valued entries of ``args``); ``occurrence``
+    selects among several loops sharing the index variable name.
+    """
+    analyzed = analyze(parse_program(source))
+    hsg = build_hsg(analyzed)
+    matching = [
+        (unit, loop)
+        for unit, loop in hsg.all_loops()
+        if unit == routine and loop.var == var
+    ]
+    if occurrence >= len(matching):
+        raise ValueError(f"no loop {routine}/{var} (occurrence {occurrence})")
+    unit, target = matching[occurrence]
+
+    collector = _LoopTraceCollector(target)
+    interp = Interpreter(
+        analyzed,
+        observer=collector.observe,
+        loop_hook=collector.loop_hook,
+        hsg=hsg,
+    )
+    frame = interp.run_routine(routine, **args)
+    name_of = {id(storage): name for name, storage in frame.storage.items()}
+    collector.finalize(name_of)
+
+    analyzer = SummaryAnalyzer(hsg)
+    record: LoopSummaryRecord = analyzer.loop_record(unit, target)
+    enclosing = set(analyzer._enclosing_indices(unit, target))
+    de_ctx = analyzer.context_for(unit)
+    for idx in analyzer._enclosing_indices(unit, target):
+        de_ctx = de_ctx.with_index(idx)
+    de_i, _de = analyzer.loop_de_sets(target, de_ctx)
+
+    if env is None:
+        env = {
+            k: int(v)
+            for k, v in args.items()
+            if isinstance(v, (int, bool)) and not isinstance(v, float)
+        }
+    report = ValidationReport(routine, var, collector.iterations)
+
+    names = set()
+    for trace in collector.iterations:
+        names |= set(trace.writes) | set(trace.exposed_reads)
+    names.discard(var)  # the target loop's own header maintains its index
+    names -= enclosing  # enclosing indices are implicitly private
+    for name in sorted(names):
+        _check_containment(report, record, de_i, name, env)
+
+    table = analyzed.table(routine)
+    privatization = privatize_loop(record, table, analyzer.comparer)
+    for verdict in privatization.verdicts:
+        if not verdict.privatizable:
+            continue
+        flowed = collector.cross_iteration_flow.get(verdict.name)
+        if flowed:
+            report.violations.append(
+                f"{verdict.name} declared privatizable but iteration trace "
+                f"shows cross-iteration flow at {sorted(flowed)[:5]}"
+            )
+        else:
+            report.privatization_checked.add(verdict.name)
+    return report
+
+
+def _check_containment(
+    report: ValidationReport,
+    record: LoopSummaryRecord,
+    de_i,
+    name: str,
+    base_env: Mapping[str, int],
+) -> None:
+    mod_i = record.mod_i.for_array(name)
+    ue_i = record.ue_i.for_array(name)
+    de_name = de_i.for_array(name)
+    fully_checked = True
+    for trace in report.iterations:
+        env = dict(base_env)
+        env[record.var] = trace.index_value
+        symbolic_mod = _enumerate_gars(mod_i, env)
+        actual_writes = trace.writes.get(name, set())
+        if symbolic_mod is None:
+            fully_checked = False
+        elif not actual_writes <= symbolic_mod:
+            extra = sorted(actual_writes - symbolic_mod)[:5]
+            report.violations.append(
+                f"MOD_{record.var}({name}) at {record.var}="
+                f"{trace.index_value} misses writes {extra}"
+            )
+        symbolic_ue = _enumerate_gars(ue_i, env)
+        actual_exposed = trace.exposed_reads.get(name, set())
+        if symbolic_ue is None:
+            fully_checked = False
+        elif not actual_exposed <= symbolic_ue:
+            extra = sorted(actual_exposed - symbolic_ue)[:5]
+            report.violations.append(
+                f"UE_{record.var}({name}) at {record.var}="
+                f"{trace.index_value} misses exposed reads {extra}"
+            )
+        symbolic_de = _enumerate_gars(de_name, env)
+        actual_downward = trace.downward_reads.get(name, set())
+        if symbolic_de is None:
+            fully_checked = False
+        elif not actual_downward <= symbolic_de:
+            extra = sorted(actual_downward - symbolic_de)[:5]
+            report.violations.append(
+                f"DE_{record.var}({name}) at {record.var}="
+                f"{trace.index_value} misses downward-exposed reads {extra}"
+            )
+    if fully_checked and report.iterations:
+        report.checked.add(name)
+    elif report.iterations:
+        report.skipped.add(name)

@@ -1,0 +1,115 @@
+"""Integration tests: the paper's three Figure 1 examples end to end."""
+
+from repro import Panorama
+from repro.kernels.figure1 import FIGURE_1A, FIGURE_1B, FIGURE_1C
+from repro.parallelize import LoopStatus
+from repro.symbolic import Env
+from tests.conftest import loop_verdicts
+
+
+class TestFigure1A:
+    """MDG interf fragment: A (= RL) must NOT privatize; B must."""
+
+    def test_loop_serial_on_a(self):
+        v = loop_verdicts(FIGURE_1A)[("interf", "i")]
+        assert v.status is LoopStatus.SERIAL
+        assert v.blocking_variables() == ["a"]
+
+    def test_b_privatizable(self):
+        v = loop_verdicts(FIGURE_1A)[("interf", "i")]
+        assert v.privatization.verdict_for("b").privatizable
+
+    def test_a_not_privatizable(self):
+        v = loop_verdicts(FIGURE_1A)[("interf", "i")]
+        assert not v.privatization.verdict_for("a").privatizable
+
+    def test_scalars_privatizable(self):
+        v = loop_verdicts(FIGURE_1A)[("interf", "i")]
+        for name in ("kc", "ttemp"):
+            assert v.privatization.verdict_for(name).privatizable, name
+
+    def test_mod_guard_is_delta(self):
+        # the write of A sits under a condition on an array element: the
+        # implementation cannot express it (section 5.2) -> Delta guard
+        v = loop_verdicts(FIGURE_1A)[("interf", "i")]
+        mod_a = v.record.mod_i.for_array("a")
+        assert not mod_a.is_exact()
+
+    def test_inner_k_loop_reduction(self):
+        verdicts = loop_verdicts(FIGURE_1A)
+        inner = [
+            v for (r, key), v in verdicts.items() if key == "k"
+        ]
+        assert any(v.status is LoopStatus.PARALLEL_WITH_REDUCTION for v in inner)
+
+
+class TestFigure1B:
+    """ARC2D filerx fragment: loop-invariant IF condition."""
+
+    def test_loop_parallel_after_privatization(self):
+        v = loop_verdicts(FIGURE_1B)[("filerx", "i")]
+        assert v.status is LoopStatus.PARALLEL_AFTER_PRIVATIZATION
+        assert "a" in v.privatized
+
+    def test_ue_i_complementary_guard(self):
+        # UE_i contains A(jmax) only under p; MOD_<i writes it under .NOT.p
+        v = loop_verdicts(FIGURE_1B)[("filerx", "i")]
+        ue = v.record.ue_i.for_array("a")
+        # under p true with jmax outside the window, the use is exposed
+        env = Env(p=1, jlow=2, jup=9, jmax=40, i=2, n=5)
+        assert ue.enumerate(env) == {(40,)}
+        # under p false nothing is exposed
+        env0 = Env(p=0, jlow=2, jup=9, jmax=40, i=2, n=5)
+        assert ue.enumerate(env0) == set()
+
+    def test_figure5_privatizability_proof(self):
+        # UE_i n MOD_<i = empty (the boxed derivation of Figure 5)
+        from repro.regions.gar_ops import lists_intersect_empty
+        from repro.symbolic import Comparer
+
+        v = loop_verdicts(FIGURE_1B)[("filerx", "i")]
+        assert lists_intersect_empty(
+            v.record.ue_i.for_array("a"),
+            v.record.mod_lt.for_array("a"),
+            Comparer(),
+        )
+
+    def test_window_use_not_exposed(self):
+        # A(jlow:jup) is written every iteration before the read
+        v = loop_verdicts(FIGURE_1B)[("filerx", "i")]
+        ue = v.record.ue_i.for_array("a")
+        env = Env(p=1, jlow=2, jup=9, jmax=5, i=2, n=5)
+        # jmax inside the window: even the jmax read is covered
+        assert ue.enumerate(env) == set()
+
+
+class TestFigure1C:
+    """OCEAN fragment: interprocedural complementary guards."""
+
+    def test_loop_parallel_after_privatization(self):
+        v = loop_verdicts(FIGURE_1C)[("main", "i")]
+        assert v.status is LoopStatus.PARALLEL_AFTER_PRIVATIZATION
+        assert "a" in v.privatized
+
+    def test_ue_i_of_a_empty(self):
+        v = loop_verdicts(FIGURE_1C)[("main", "i")]
+        assert v.record.ue_i.for_array("a").is_empty()
+
+    def test_routine_summaries_match_paper(self):
+        # MOD(in) = [x <= SIZE and 1 <= mm, B(1:mm)]
+        from tests.conftest import compile_source
+
+        hsg, analyzer = compile_source(FIGURE_1C)
+        s_in = analyzer.routine_summary("in")
+        mod_b = s_in.mod.for_array("b")
+        assert mod_b.enumerate(Env(x=2, mm=5)) == {(k,) for k in range(1, 6)}
+        assert mod_b.enumerate(Env(x=900, mm=5)) == set()  # x > SIZE branch
+        s_out = analyzer.routine_summary("out")
+        ue_b = s_out.ue.for_array("b")
+        assert ue_b.enumerate(Env(x=2, mm=5)) == {(k,) for k in range(1, 6)}
+        assert ue_b.enumerate(Env(x=900, mm=5)) == set()
+
+    def test_pipeline_end_to_end(self):
+        result = Panorama().compile(FIGURE_1C)
+        outer = [r for r in result.loops if r.routine == "main"][0]
+        assert outer.parallel

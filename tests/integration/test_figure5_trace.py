@@ -1,0 +1,87 @@
+"""Integration test: the paper's Figure 5 worked derivation, step by step.
+
+Figure 5 walks the HSG of Figure 1(b) and derives:
+
+* ``mod_in(2) = [T, (jlow:jup)] ∪ [not P, (jmax)]``
+* ``ue_in(2)  = [P ∧ (jmax < jlow ∨ jmax > jup), (jmax)]``
+* ``mod_<i(1) = [i > 1, (jlow:jup)] ∪ [i > 1 ∧ not P, (jmax)]``
+* ``ue_i ∩ mod_<i(1) = ∅``  →  A is privatizable
+
+We verify each derived set extensionally against the paper's formulas on
+concrete instantiations (the symbolic representations may differ in
+shape, the denoted sets may not).
+"""
+
+from repro.kernels.figure1 import FIGURE_1B
+from repro.regions.gar_ops import intersect_lists
+from repro.symbolic import Comparer, Env
+from tests.conftest import loop_record
+
+
+def paper_mod_i(env) -> set:
+    out = set()
+    out |= {(j,) for j in range(env["jlow"], env["jup"] + 1)}
+    if not env["p"]:
+        out.add((env["jmax"],))
+    return out
+
+
+def paper_ue_i(env) -> set:
+    # [P and (jmax < jlow or jmax > jup), (jmax)] — plus the window
+    # non-emptiness condition jlow <= jup that the paper's presentation
+    # "omits for simplicity" (section 3): the read loop must execute for
+    # A(jmax) to be used at all.
+    if env["jlow"] > env["jup"]:
+        return set()
+    if env["p"] and not (env["jlow"] <= env["jmax"] <= env["jup"]):
+        return {(env["jmax"],)}
+    return set()
+
+
+def paper_mod_lt(env) -> set:
+    if env["i"] <= 1:
+        return set()
+    return paper_mod_i(env)
+
+
+ENVS = [
+    Env(p=1, jlow=2, jup=9, jmax=40, i=3, n=5),
+    Env(p=0, jlow=2, jup=9, jmax=40, i=3, n=5),
+    Env(p=1, jlow=2, jup=9, jmax=5, i=3, n=5),
+    Env(p=0, jlow=2, jup=9, jmax=5, i=1, n=5),
+    Env(p=1, jlow=9, jup=2, jmax=5, i=2, n=5),  # empty window
+]
+
+
+class TestFigure5:
+    def setup_method(self):
+        self.record = loop_record(FIGURE_1B, "filerx", "i")
+
+    def test_step_a_ue_i(self):
+        ue = self.record.ue_i.for_array("a")
+        for env in ENVS:
+            assert ue.enumerate(env) == paper_ue_i(env), dict(env)
+
+    def test_step_a_mod_i(self):
+        mod = self.record.mod_i.for_array("a")
+        for env in ENVS:
+            assert mod.enumerate(env) == paper_mod_i(env), dict(env)
+
+    def test_step_b_mod_lt(self):
+        mod_lt = self.record.mod_lt.for_array("a")
+        for env in ENVS:
+            assert mod_lt.enumerate(env) == paper_mod_lt(env), dict(env)
+
+    def test_step_b_intersection_empty(self):
+        inter = intersect_lists(
+            self.record.ue_i.for_array("a"),
+            self.record.mod_lt.for_array("a"),
+            Comparer(),
+        )
+        assert inter.provably_empty()
+
+    def test_conclusion_privatizable(self):
+        from repro.privatize import test_privatizable
+
+        verdict = test_privatizable("a", self.record, Comparer())
+        assert verdict.privatizable

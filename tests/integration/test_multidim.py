@@ -1,0 +1,104 @@
+"""Integration tests: multi-dimensional arrays through the whole pipeline."""
+
+from repro import Panorama
+from repro.parallelize import LoopStatus
+from repro.symbolic import Env
+from repro.validate import validate_loop
+from tests.conftest import loop_record, loop_verdicts
+
+PLANE_SWEEP = (
+    "      SUBROUTINE sweep2(grid, out, n, m)\n"
+    "      REAL grid(50, 50), out(50, 50)\n"
+    "      INTEGER n, m, i, j\n"
+    "      REAL row(50)\n"
+    "      DO i = 2, n\n"
+    "        DO j = 1, m\n"
+    "          row(j) = grid(i, j) + grid(i - 1, j)\n"
+    "        ENDDO\n"
+    "        DO j = 1, m\n"
+    "          out(i, j) = row(j) * 0.5\n"
+    "        ENDDO\n"
+    "      ENDDO\n"
+    "      END\n"
+)
+
+
+class TestTwoDimensionalRegions:
+    def test_mod_i_is_a_row(self):
+        rec = loop_record(PLANE_SWEEP, "sweep2", "i")
+        got = rec.mod_i.for_array("out").enumerate(Env(i=3, m=4, n=9))
+        assert got == {(3, j) for j in range(1, 5)}
+
+    def test_whole_loop_mod_is_a_plane(self):
+        rec = loop_record(PLANE_SWEEP, "sweep2", "i")
+        got = rec.mod.for_array("out").enumerate(Env(n=4, m=3))
+        assert got == {(i, j) for i in range(2, 5) for j in range(1, 4)}
+
+    def test_ue_includes_previous_row(self):
+        rec = loop_record(PLANE_SWEEP, "sweep2", "i")
+        ue = rec.ue_i.for_array("grid").enumerate(Env(i=3, m=2, n=9))
+        assert ue == {(3, 1), (3, 2), (2, 1), (2, 2)}
+
+    def test_row_buffer_privatizes_and_loop_parallel(self):
+        v = loop_verdicts(PLANE_SWEEP)[("sweep2", "i")]
+        assert v.status is LoopStatus.PARALLEL_AFTER_PRIVATIZATION
+        assert "row" in v.privatized
+
+    def test_trace_validation(self):
+        grid = {(i, j): float(i * 10 + j) for i in range(1, 12) for j in range(1, 8)}
+        report = validate_loop(
+            PLANE_SWEEP,
+            "sweep2",
+            "i",
+            args={"grid": grid, "out": {}, "n": 6, "m": 4},
+        )
+        assert report.ok, report.violations
+        assert {"grid", "out", "row"} <= report.checked
+
+
+class TestColumnRecurrence:
+    SRC = (
+        "      SUBROUTINE relax2(grid, n, m)\n"
+        "      REAL grid(50, 50)\n"
+        "      INTEGER n, m, i, j\n"
+        "      DO i = 2, n\n"
+        "        DO j = 1, m\n"
+        "          grid(i, j) = grid(i - 1, j) * 0.5\n"
+        "        ENDDO\n"
+        "      ENDDO\n"
+        "      END\n"
+    )
+
+    def test_outer_serial_inner_parallel(self):
+        verdicts = loop_verdicts(self.SRC)
+        assert verdicts[("relax2", "i")].status is LoopStatus.SERIAL
+        assert verdicts[("relax2", "j")].parallel
+
+    def test_trace_agrees(self):
+        grid = {(i, j): 1.0 for i in range(1, 12) for j in range(1, 8)}
+        report = validate_loop(
+            self.SRC, "relax2", "i", args={"grid": grid, "n": 6, "m": 4}
+        )
+        assert report.ok, report.violations
+        assert "grid" not in report.privatization_checked
+
+
+class TestTransposedAccess:
+    def test_independent_columns(self):
+        # each iteration owns column i: fully parallel without dataflow
+        src = (
+            "      SUBROUTINE cols(grid, n, m)\n"
+            "      REAL grid(50, 50)\n"
+            "      INTEGER n, m, i, j\n"
+            "      DO i = 1, n\n"
+            "        DO j = 2, m\n"
+            "          grid(j, i) = grid(j - 1, i) + 1.0\n"
+            "        ENDDO\n"
+            "      ENDDO\n"
+            "      END\n"
+        )
+        result = Panorama(run_machine_model=False).compile(src)
+        outer = [r for r in result.loops if r.var == "i"][0]
+        assert outer.parallel
+        inner = [r for r in result.loops if r.var == "j"][0]
+        assert inner.status is LoopStatus.SERIAL

@@ -1,0 +1,67 @@
+"""Integration tests on the synthetic kernels (feature-specific programs)."""
+
+from repro import Panorama
+from repro.kernels import synthetic
+from repro.parallelize import LoopStatus
+from tests.conftest import loop_verdicts
+
+
+class TestSyntheticKernels:
+    def test_simple_privatizable(self):
+        v = loop_verdicts(synthetic.SIMPLE_PRIVATIZABLE)[("sweep", "i")]
+        assert v.status is LoopStatus.PARALLEL_AFTER_PRIVATIZATION
+        assert "t" in v.privatized
+
+    def test_recurrence_serial(self):
+        result = Panorama(run_machine_model=False).compile(synthetic.RECURRENCE)
+        (loop,) = result.loops
+        assert loop.status is LoopStatus.SERIAL
+
+    def test_reduction(self):
+        v = loop_verdicts(synthetic.REDUCTION)[("sumup", "i")]
+        assert v.status is LoopStatus.PARALLEL_WITH_REDUCTION
+        assert v.reductions == ["total"]
+
+    def test_strided_writes_parallel(self):
+        result = Panorama(run_machine_model=False).compile(synthetic.STRIDED)
+        (loop,) = result.loops
+        assert loop.parallel
+
+    def test_goto_cycle_condensed_conservative(self):
+        # the while-style GOTO loop is condensed; no DO loop to classify,
+        # and the routine summary is conservative
+        from tests.conftest import compile_source
+
+        hsg, analyzer = compile_source(synthetic.GOTO_CYCLE)
+        summary = analyzer.routine_summary("wloop")
+        assert not summary.mod.for_array("a").is_exact()
+        assert hsg.graph("wloop").is_dag()
+
+    def test_premature_exit_serial(self):
+        result = Panorama(run_machine_model=False).compile(
+            synthetic.PREMATURE_EXIT
+        )
+        (loop,) = result.loops
+        assert loop.status is LoopStatus.SERIAL
+
+    def test_invariant_guard_privatizes(self):
+        v = loop_verdicts(synthetic.INVARIANT_GUARD)[("guardw", "i")]
+        assert v.status is LoopStatus.PARALLEL_AFTER_PRIVATIZATION
+        assert "a" in v.privatized
+
+
+class TestGeneratedNests:
+    def test_make_loop_nest_parses_and_analyzes(self):
+        src = synthetic.make_loop_nest(depth=2, width=3, routines=2)
+        result = Panorama(run_machine_model=False).compile(src)
+        assert len(result.loops) >= 5  # init + 2 routines x 2 depth
+
+    def test_deeper_nest(self):
+        src = synthetic.make_loop_nest(depth=3, width=2)
+        result = Panorama(run_machine_model=False).compile(src)
+        assert all(r.status is not None for r in result.loops)
+
+    def test_scaling_programs_grow(self):
+        small = synthetic.make_loop_nest(1, 1, 1)
+        large = synthetic.make_loop_nest(3, 5, 4)
+        assert len(large) > len(small) * 2

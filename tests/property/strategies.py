@@ -1,0 +1,111 @@
+"""Hypothesis strategies shared by the property tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.regions import GAR, GARList, Range, RegularRegion
+from repro.symbolic import (
+    BoolAtom,
+    Disjunction,
+    Env,
+    Predicate,
+    Relation,
+    RelOp,
+    SymExpr,
+    sym,
+)
+
+VAR_NAMES = ["x", "y", "z"]
+BOOL_NAMES = ["p", "q"]
+
+small_ints = st.integers(min_value=-8, max_value=8)
+var_names = st.sampled_from(VAR_NAMES)
+
+
+@st.composite
+def sym_exprs(draw, max_terms: int = 3, allow_products: bool = True):
+    """A small random symbolic expression."""
+    expr = SymExpr.const(draw(small_ints))
+    for _ in range(draw(st.integers(0, max_terms))):
+        coeff = draw(small_ints)
+        name = draw(var_names)
+        term = sym(name) * coeff
+        if allow_products and draw(st.booleans()):
+            term = term * sym(draw(var_names))
+        expr = expr + term
+    return expr
+
+
+@st.composite
+def linear_exprs(draw, max_terms: int = 3):
+    return draw(sym_exprs(max_terms=max_terms, allow_products=False))
+
+
+@st.composite
+def relations(draw, linear: bool = False):
+    expr = draw(linear_exprs() if linear else sym_exprs())
+    op = draw(st.sampled_from([RelOp.LE, RelOp.EQ, RelOp.NE]))
+    return Relation(expr, op)
+
+
+@st.composite
+def atoms(draw, linear: bool = False):
+    if draw(st.booleans()):
+        return draw(relations(linear=linear))
+    return BoolAtom(draw(st.sampled_from(BOOL_NAMES)), draw(st.booleans()))
+
+
+@st.composite
+def disjunctions(draw, max_atoms: int = 3):
+    return Disjunction(
+        [draw(atoms()) for _ in range(draw(st.integers(1, max_atoms)))]
+    )
+
+
+@st.composite
+def predicates(draw, max_clauses: int = 3):
+    kind = draw(st.integers(0, 9))
+    if kind == 0:
+        return Predicate.true()
+    if kind == 1:
+        return Predicate.false()
+    return Predicate.of_clauses(
+        [draw(disjunctions()) for _ in range(draw(st.integers(1, max_clauses)))]
+    )
+
+
+@st.composite
+def envs(draw, lo: int = -6, hi: int = 6):
+    values = {name: draw(st.integers(lo, hi)) for name in VAR_NAMES}
+    values.update({name: draw(st.integers(0, 1)) for name in BOOL_NAMES})
+    return Env(values)
+
+
+@st.composite
+def concrete_ranges(draw, span: int = 12):
+    lo = draw(st.integers(-span, span))
+    hi = draw(st.integers(lo - 3, lo + span))
+    step = draw(st.sampled_from([1, 1, 1, 2, 3, 4, 6]))
+    return Range(lo, hi, step)
+
+
+@st.composite
+def concrete_regions(draw, rank: int = 1, array: str = "a"):
+    dims = [draw(concrete_ranges(span=6)) for _ in range(rank)]
+    return RegularRegion(array, dims)
+
+
+@st.composite
+def guarded_gars(draw, rank: int = 1):
+    guard = Predicate.boolvar(
+        draw(st.sampled_from(BOOL_NAMES))
+    ) if draw(st.booleans()) else Predicate.true()
+    return GAR(guard, draw(concrete_regions(rank=rank)))
+
+
+@st.composite
+def gar_lists(draw, rank: int = 1, max_len: int = 3):
+    return GARList(
+        [draw(guarded_gars(rank=rank)) for _ in range(draw(st.integers(0, max_len)))]
+    )

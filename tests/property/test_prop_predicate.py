@@ -1,0 +1,123 @@
+"""Property tests: relations, CNF predicates, and the pairwise simplifier
+agree with brute-force boolean semantics."""
+
+from hypothesis import given, settings
+
+from repro.symbolic import Predicate, definitely_unsat, implied_by
+
+from .strategies import atoms, envs, predicates, relations
+
+
+@given(atoms(), envs())
+def test_negation_complements(atom, env):
+    assert atom.negate().evaluate(env) == (not atom.evaluate(env))
+
+
+@given(relations(), envs())
+def test_double_negation_semantics(rel, env):
+    assert rel.negate().negate().evaluate(env) == rel.evaluate(env)
+
+
+@given(atoms(), atoms(), envs())
+def test_implies_sound(a, b, env):
+    """If the pairwise test claims a => b, no env may witness a and not b."""
+    verdict = a.implies(b)
+    if verdict is True and a.evaluate(env):
+        assert b.evaluate(env)
+    if verdict is False and a.evaluate(env):
+        assert not b.evaluate(env)
+
+
+@given(atoms(), atoms(), envs())
+def test_conflicts_sound(a, b, env):
+    if a.conflicts(b):
+        assert not (a.evaluate(env) and b.evaluate(env))
+
+
+@given(relations(), envs())
+def test_truth_constant_folding_sound(rel, env):
+    t = rel.truth()
+    if t is not None:
+        assert rel.evaluate(env) == t
+
+
+@given(predicates(), predicates(), envs())
+def test_conjunction_semantics(p, q, env):
+    if p.is_unknown() or q.is_unknown():
+        return
+    combined = p & q
+    if combined.is_unknown():
+        return  # complexity cap: allowed to give up
+    assert combined.evaluate(env) == (p.evaluate(env) and q.evaluate(env))
+
+
+@given(predicates(), predicates(), envs())
+def test_disjunction_semantics(p, q, env):
+    if p.is_unknown() or q.is_unknown():
+        return
+    combined = p | q
+    if combined.is_unknown():
+        return
+    assert combined.evaluate(env) == (p.evaluate(env) or q.evaluate(env))
+
+
+@given(predicates(), envs())
+def test_negation_semantics(p, env):
+    if p.is_unknown():
+        return
+    negated = p.negate()
+    if negated.is_unknown():
+        return
+    assert negated.evaluate(env) == (not p.evaluate(env))
+
+
+@given(predicates(), envs())
+def test_simplifier_never_changes_value(p, env):
+    """Rebuilding a CNF through of_clauses preserves semantics."""
+    if not p.is_cnf():
+        return
+    rebuilt = Predicate.of_clauses(p.clauses)
+    if rebuilt.is_unknown():
+        return
+    assert rebuilt.evaluate(env) == p.evaluate(env)
+
+
+@given(predicates(), predicates(), envs())
+def test_predicate_implies_sound(p, q, env):
+    if p.implies(q) is True and not p.is_unknown() and not q.is_unknown():
+        if p.evaluate(env):
+            assert q.evaluate(env)
+
+
+@settings(max_examples=200)
+@given(predicates(), envs())
+def test_false_predicates_have_no_models(p, env):
+    if p.is_false():
+        return  # nothing to check: constructor already folded it
+    # a CNF that evaluates True under some env must not be is_false()
+    if p.is_cnf():
+        assert not p.is_false()
+
+
+# --- Fourier-Motzkin soundness ------------------------------------------------
+
+
+@given(atoms(linear=True), atoms(linear=True), atoms(linear=True), envs())
+def test_fm_unsat_sound(a, b, c, env):
+    """If FM claims unsatisfiable, no environment satisfies all atoms."""
+    if definitely_unsat([a, b, c]):
+        assert not (a.evaluate(env) and b.evaluate(env) and c.evaluate(env))
+
+
+@given(atoms(linear=True), atoms(linear=True), atoms(linear=True), envs())
+def test_fm_implication_sound(a, b, c, env):
+    if implied_by([a, b], c):
+        if a.evaluate(env) and b.evaluate(env):
+            assert c.evaluate(env)
+
+
+@given(atoms(), atoms(), envs())
+def test_fm_nonlinear_still_sound(a, b, env):
+    """Linearized (nonlinear) atoms keep the one-sided guarantee."""
+    if definitely_unsat([a, b]):
+        assert not (a.evaluate(env) and b.evaluate(env))

@@ -1,0 +1,245 @@
+"""Property tests: range/region/GAR set algebra vs the concrete-set oracle."""
+
+from hypothesis import given, settings
+
+from repro.regions import (
+    GARList,
+    range_covers,
+    range_difference,
+    range_intersect,
+    range_union,
+    region_covers,
+    region_difference,
+    region_intersect,
+    region_union,
+)
+from repro.regions.gar_ops import (
+    gar_subtract,
+    intersect_lists,
+    lists_intersect_empty,
+    subtract_lists,
+    union_lists,
+)
+from repro.regions.gar_simplify import simplify_gar_list
+from repro.symbolic import Comparer, Env
+
+from .strategies import concrete_ranges, concrete_regions, envs, gar_lists, guarded_gars
+
+CMP = Comparer()
+
+
+def can_enumerate(gars) -> bool:
+    return all(g.region.is_fully_known() for g in gars)
+
+
+def range_set(r, env=Env()):
+    return set(r.enumerate(env))
+
+
+def pieces_set(pieces, env=Env()):
+    out = set()
+    for pred, rng in pieces:
+        if pred.evaluate(env):
+            out |= set(rng.enumerate(env))
+    return out
+
+
+# --- ranges -------------------------------------------------------------------
+
+
+@given(concrete_ranges(), concrete_ranges())
+def test_range_intersect_oracle(r1, r2):
+    pieces = range_intersect(r1, r2, CMP)
+    expect = range_set(r1) & range_set(r2)
+    if pieces is None:
+        return  # unknown is allowed, never wrong
+    assert pieces_set(pieces) == expect
+
+
+@given(concrete_ranges(), concrete_ranges())
+def test_range_union_oracle(r1, r2):
+    merged = range_union(r1, r2, CMP)
+    if merged is None:
+        return
+    assert range_set(merged) == range_set(r1) | range_set(r2)
+
+
+@given(concrete_ranges(), concrete_ranges())
+def test_range_difference_oracle(r1, r2):
+    pieces = range_difference(r1, r2, CMP)
+    if pieces is None:
+        return
+    expect = range_set(r1) - range_set(r2)
+    got = pieces_set(pieces)
+    if range_set(r2) or not range_set(r1):
+        assert got == expect
+    else:
+        # empty subtrahend handled at the GAR layer via guards; the raw
+        # range formula may only over-approximate there
+        assert got >= expect
+
+
+@given(concrete_ranges(), concrete_ranges())
+def test_range_covers_sound(r1, r2):
+    if range_covers(r1, r2, CMP):
+        assert range_set(r2) <= range_set(r1)
+
+
+# --- regions -----------------------------------------------------------------
+
+
+@given(concrete_regions(rank=2), concrete_regions(rank=2))
+@settings(max_examples=60)
+def test_region_intersect_oracle(r1, r2):
+    gars = region_intersect(r1, r2, CMP)
+    if not can_enumerate(gars):
+        return  # an unknown dimension: nothing checkable extensionally
+    expect = r1.enumerate(Env()) & r2.enumerate(Env())
+    if gars.is_exact():
+        assert gars.enumerate(Env()) == expect
+    else:
+        assert gars.enumerate(Env()) >= expect
+
+
+@given(concrete_regions(rank=2), concrete_regions(rank=2))
+@settings(max_examples=60)
+def test_region_union_oracle(r1, r2):
+    merged = region_union(r1, r2, CMP)
+    if merged is None:
+        return
+    assert merged.enumerate(Env()) == r1.enumerate(Env()) | r2.enumerate(Env())
+
+
+@given(concrete_regions(rank=2), concrete_regions(rank=2))
+@settings(max_examples=60)
+def test_region_difference_oracle(r1, r2):
+    gars = region_difference(r1, r2, CMP)
+    if gars is None:
+        return
+    expect = r1.enumerate(Env()) - r2.enumerate(Env())
+    got = gars.enumerate(Env())
+    if r2.enumerate(Env()):
+        assert got == expect
+    else:
+        assert got >= expect
+
+
+@given(concrete_regions(rank=2), concrete_regions(rank=2))
+@settings(max_examples=60)
+def test_region_covers_sound(r1, r2):
+    if region_covers(r1, r2, CMP):
+        assert r2.enumerate(Env()) <= r1.enumerate(Env())
+
+
+# --- GAR lists ------------------------------------------------------------------
+
+
+@given(gar_lists(), gar_lists(), envs())
+@settings(max_examples=60)
+def test_union_lists_oracle(a, b, env):
+    got = union_lists(a, b, CMP)
+    assert got.enumerate(env) == a.enumerate(env) | b.enumerate(env)
+
+
+@given(gar_lists(), gar_lists(), envs())
+@settings(max_examples=60)
+def test_intersect_lists_oracle(a, b, env):
+    got = intersect_lists(a, b, CMP)
+    if not can_enumerate(got):
+        return
+    expect = a.enumerate(env) & b.enumerate(env)
+    if got.is_exact():
+        assert got.enumerate(env) == expect
+    else:
+        assert got.enumerate(env) >= expect
+
+
+@given(gar_lists(), gar_lists(), envs())
+@settings(max_examples=60)
+def test_subtract_lists_over_approximates(a, b, env):
+    """The subtraction contract: the result always contains the true
+    difference (kills are only performed when provably safe)."""
+    got = subtract_lists(a, b, CMP)
+    expect = a.enumerate(env) - b.enumerate(env)
+    assert got.enumerate(env) >= expect
+    # and never exceeds the minuend
+    assert got.enumerate(env) <= a.enumerate(env)
+
+
+@given(gar_lists(), gar_lists(), envs())
+@settings(max_examples=60)
+def test_exact_subtraction_is_exact(a, b, env):
+    got = subtract_lists(a, b, CMP)
+    if got.is_exact() and a.is_exact() and b.is_exact():
+        assert got.enumerate(env) == a.enumerate(env) - b.enumerate(env)
+
+
+@given(guarded_gars(), gar_lists(), envs())
+@settings(max_examples=60)
+def test_inexact_subtrahend_never_kills(g, b, env):
+    inexact = GARList.of(*(x.inexact() for x in b))
+    got = subtract_lists(GARList.of(g), inexact, CMP)
+    assert got.enumerate(env) == g.enumerate(env)
+
+
+@given(gar_lists(), gar_lists(), envs())
+@settings(max_examples=60)
+def test_lists_intersect_empty_sound(a, b, env):
+    if lists_intersect_empty(a, b, CMP):
+        assert not (a.enumerate(env) & b.enumerate(env))
+
+
+@given(gar_lists(), envs())
+@settings(max_examples=60)
+def test_simplifier_preserves_sets(lst, env):
+    got = simplify_gar_list(lst, CMP)
+    assert got.enumerate(env) == lst.enumerate(env)
+
+
+# --- shaped regions (section 5.3) ----------------------------------------------
+
+
+from hypothesis import strategies as _st
+
+from repro.regions.shapes import (
+    dim_symbol,
+    enumerate_shaped,
+    shaped,
+    shaped_intersect_empty,
+    shaped_provably_empty,
+)
+from repro.regions import Range as _Range, RegularRegion as _Region
+from repro.symbolic import Predicate as _Pred
+
+
+@given(
+    _st.integers(1, 5),
+    _st.integers(-3, 3),
+    _st.integers(1, 5),
+    _st.integers(-3, 3),
+)
+@settings(max_examples=60)
+def test_shaped_disjointness_sound(n1, off1, n2, off2):
+    """If two off-diagonal bands are declared disjoint, their concrete
+    element sets must not intersect."""
+    a = shaped(
+        _Pred.eq(dim_symbol(2), dim_symbol(1) + off1),
+        _Region("a", [_Range(1, n1), _Range(1, n1)]),
+    )
+    b = shaped(
+        _Pred.eq(dim_symbol(2), dim_symbol(1) + off2),
+        _Region("a", [_Range(1, n2), _Range(1, n2)]),
+    )
+    if shaped_intersect_empty(a, b):
+        assert not (enumerate_shaped(a, Env()) & enumerate_shaped(b, Env()))
+
+
+@given(_st.integers(1, 5), _st.integers(-6, 6), _st.integers(-6, 6))
+@settings(max_examples=60)
+def test_shaped_emptiness_sound(n, lo_bound, hi_bound):
+    g = shaped(
+        _Pred.ge(dim_symbol(1), lo_bound) & _Pred.le(dim_symbol(1), hi_bound),
+        _Region("a", [_Range(1, n), _Range(1, n)]),
+    )
+    if shaped_provably_empty(g):
+        assert not enumerate_shaped(g, Env())

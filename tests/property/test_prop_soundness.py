@@ -1,0 +1,123 @@
+"""Property test: end-to-end analysis soundness on random kernels.
+
+Hypothesis generates small random Fortran loop nests (conditional writes,
+work arrays, scalar temporaries, shifted subscripts); each is executed in
+the concrete interpreter and the full analysis stack is validated against
+the trace (MOD_i / UE_i containment and privatization claims) — see
+:mod:`repro.validate`.  Any violation is a genuine soundness bug.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.validate import validate_loop
+
+SUBSCRIPTS = ["i", "i+1", "i-1", "j", "j+1", "2*j", "k", "3"]
+SCALAR_RHS = ["b({0})", "t({0})", "1.0 * i", "x + 1.0", "2.0"]
+CONDITIONS = ["i .GT. k", "sw", ".NOT. sw", "i .LE. 3", "k .EQ. 2"]
+
+
+@st.composite
+def kernel_sources(draw):
+    lines: list[str] = []
+
+    def stmt(depth: int, in_j: bool) -> list[str]:
+        pad = "  " * depth
+        sub = lambda: draw(st.sampled_from(
+            SUBSCRIPTS if in_j else [s for s in SUBSCRIPTS if "j" not in s]
+        ))
+        kind = draw(st.integers(0, 5))
+        if kind == 0:
+            return [f"      {pad}a({sub()}) = b({sub()}) + 1.0"]
+        if kind == 1:
+            return [f"      {pad}t({sub()}) = {draw(st.sampled_from(SCALAR_RHS)).format(sub())}"]
+        if kind == 2:
+            return [f"      {pad}x = {draw(st.sampled_from(SCALAR_RHS)).format(sub())}"]
+        if kind == 3:
+            cond = draw(st.sampled_from(CONDITIONS))
+            inner = stmt(depth + 1, in_j)
+            return [f"      {pad}IF ({cond}) THEN"] + inner + [
+                f"      {pad}ENDIF"
+            ]
+        if kind == 4 and not in_j:
+            body = [
+                line
+                for _ in range(draw(st.integers(1, 2)))
+                for line in stmt(depth + 1, True)
+            ]
+            return [f"      {pad}DO j = 1, m"] + body + [f"      {pad}ENDDO"]
+        if kind == 5 and not in_j and depth == 1:
+            # induction-variable update + use (section 5.2 closed forms)
+            return [
+                f"      {pad}kv = kv + {draw(st.integers(1, 3))}",
+                f"      {pad}t(kv) = b({sub()})",
+            ]
+        return [f"      {pad}y = a({sub()}) * 0.5"]
+
+    body = [line for _ in range(draw(st.integers(1, 3)))
+            for line in stmt(1, False)]
+    lines = (
+        [
+            "      SUBROUTINE rnd(a, b, t, n, m, k, sw)",
+            "      REAL a(100), b(100), t(100)",
+            "      INTEGER n, m, k, i, j, kv",
+            "      LOGICAL sw",
+            "      REAL x, y",
+            "      kv = 0",
+            "      DO i = 1, n",
+        ]
+        + body
+        + ["      ENDDO", "      END"]
+    )
+    return "\n".join(lines) + "\n"
+
+
+@given(
+    kernel_sources(),
+    st.integers(1, 6),
+    st.integers(1, 5),
+    st.integers(0, 4),
+    st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_kernels_validate(source, n, m, k, sw):
+    report = validate_loop(
+        source,
+        "rnd",
+        "i",
+        args={
+            "a": [0.5] * 40,
+            "b": [1.5] * 40,
+            "t": [0.0] * 40,
+            "n": n,
+            "m": m,
+            "k": k,
+            "sw": sw,
+        },
+    )
+    assert report.ok, (source, report.violations)
+
+
+@given(kernel_sources())
+@settings(max_examples=30, deadline=None)
+def test_random_kernels_inner_loop_validates(source):
+    if "DO j" not in source:
+        return
+    report = validate_loop(
+        source,
+        "rnd",
+        "j",
+        args={
+            "a": [0.5] * 40,
+            "b": [1.5] * 40,
+            "t": [0.0] * 40,
+            "n": 2,
+            "m": 4,
+            "k": 1,
+            "sw": True,
+        },
+        occurrence=0,
+    )
+    assert report.ok, (source, report.violations)

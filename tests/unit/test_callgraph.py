@@ -1,0 +1,70 @@
+"""Unit tests for call-graph construction."""
+
+import pytest
+
+from repro.errors import CallGraphError
+from repro.fortran import analyze, build_call_graph, parse_program
+
+
+def graph_of(source: str):
+    return build_call_graph(analyze(parse_program(source)))
+
+
+class TestCallGraph:
+    def test_edges(self):
+        cg = graph_of(
+            "      PROGRAM p\n      CALL a\n      END\n"
+            "      SUBROUTINE a\n      CALL b\n      END\n"
+            "      SUBROUTINE b\n      x = 1\n      END\n"
+        )
+        assert cg.calls("p") == frozenset({"a"})
+        assert cg.calls("a") == frozenset({"b"})
+        assert cg.is_leaf("b")
+
+    def test_bottom_up_order(self):
+        cg = graph_of(
+            "      PROGRAM p\n      CALL a\n      END\n"
+            "      SUBROUTINE a\n      CALL b\n      END\n"
+            "      SUBROUTINE b\n      x = 1\n      END\n"
+        )
+        assert cg.order.index("b") < cg.order.index("a") < cg.order.index("p")
+
+    def test_function_reference_is_edge(self):
+        cg = graph_of(
+            "      PROGRAM p\n      x = f(1)\n      END\n"
+            "      REAL FUNCTION f(k)\n      f = k\n      END\n"
+        )
+        assert "f" in cg.calls("p")
+
+    def test_external_calls_not_edges(self):
+        cg = graph_of("      PROGRAM p\n      CALL outside(x)\n      END\n")
+        assert cg.calls("p") == frozenset()
+
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(CallGraphError):
+            graph_of("      SUBROUTINE a\n      CALL a\n      END\n")
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(CallGraphError):
+            graph_of(
+                "      SUBROUTINE a\n      CALL b\n      END\n"
+                "      SUBROUTINE b\n      CALL a\n      END\n"
+            )
+
+    def test_callers_map(self):
+        cg = graph_of(
+            "      PROGRAM p\n      CALL a\n      END\n"
+            "      SUBROUTINE q\n      CALL a\n      END\n"
+            "      SUBROUTINE a\n      x = 1\n      END\n"
+        )
+        assert cg.callers["a"] == {"p", "q"}
+
+    def test_diamond_shape_ok(self):
+        cg = graph_of(
+            "      PROGRAM p\n      CALL a\n      CALL b\n      END\n"
+            "      SUBROUTINE a\n      CALL c\n      END\n"
+            "      SUBROUTINE b\n      CALL c\n      END\n"
+            "      SUBROUTINE c\n      x = 1\n      END\n"
+        )
+        assert cg.order.index("c") < cg.order.index("a")
+        assert cg.order.index("c") < cg.order.index("b")

@@ -1,0 +1,168 @@
+"""Unit tests for directive code generation (repro.codegen)."""
+
+import pytest
+
+from repro import Panorama
+from repro.codegen import annotate, clauses_for, directive_lines
+from repro.fortran import parse_program
+
+WORK_LOOP = (
+    "      SUBROUTINE smooth(a, b, n, m)\n"
+    "      REAL a(1000), b(1000)\n"
+    "      INTEGER n, m, i, j\n"
+    "      REAL t(100)\n"
+    "      REAL s\n"
+    "      DO i = 1, n\n"
+    "        DO j = 1, m\n"
+    "          t(j) = a(j)\n"
+    "        ENDDO\n"
+    "        s = 0.0\n"
+    "        DO j = 1, m\n"
+    "          s = s + t(j)\n"
+    "        ENDDO\n"
+    "        b(i) = s\n"
+    "      ENDDO\n"
+    "      END\n"
+)
+
+
+def compiled(src=WORK_LOOP):
+    return Panorama().compile(src)
+
+
+class TestClauses:
+    def test_private_contains_work_array(self):
+        result = compiled()
+        clauses = clauses_for(result.loops[0], result)
+        assert "t" in clauses.private
+        assert "s" in clauses.private
+
+    def test_index_vars_deduplicated(self):
+        result = compiled()
+        clauses = clauses_for(result.loops[0], result)
+        assert clauses.index_vars == ("i", "j")
+
+    def test_shared_holds_the_rest(self):
+        result = compiled()
+        clauses = clauses_for(result.loops[0], result)
+        assert "a" in clauses.shared and "b" in clauses.shared
+        assert "t" not in clauses.shared
+
+    def test_reduction_clause(self):
+        src = (
+            "      SUBROUTINE total(a, n, acc)\n"
+            "      REAL a(100), acc\n      INTEGER n, i\n"
+            "      DO i = 1, n\n        acc = acc + a(i)\n      ENDDO\n"
+            "      END\n"
+        )
+        result = compiled(src)
+        clauses = clauses_for(result.loops[0], result)
+        assert ("+", "acc") in clauses.reductions
+
+    def test_lastprivate_from_copy_out(self):
+        src = WORK_LOOP.replace(
+            "      END\n", "      x = t(1)\n      END\n"
+        )
+        result = compiled(src)
+        clauses = clauses_for(result.loops[0], result)
+        assert "t" in clauses.lastprivate
+        assert "t" not in clauses.private
+
+
+class TestDirectiveText:
+    def test_omp_style(self):
+        result = compiled()
+        text = annotate(result, style="omp")
+        assert "C$OMP PARALLEL DO" in text
+        assert "PRIVATE(" in text
+        assert "SHARED(" in text
+        assert "C$OMP END PARALLEL DO" in text
+
+    def test_sgi_style(self):
+        result = compiled()
+        text = annotate(result, style="sgi")
+        assert "C$DOACROSS" in text
+        assert "LOCAL(" in text
+        assert "SHARE(" in text
+
+    def test_unknown_style_rejected(self):
+        result = compiled()
+        with pytest.raises(ValueError):
+            annotate(result, style="hpf")
+
+    def test_only_outermost_annotated(self):
+        result = compiled()
+        text = annotate(result, style="omp")
+        assert text.count("C$OMP PARALLEL DO") == 1
+
+    def test_serial_loop_unannotated(self):
+        src = (
+            "      SUBROUTINE recur(a, n)\n"
+            "      REAL a(100)\n      INTEGER n, i\n"
+            "      DO i = 2, n\n        a(i) = a(i-1)\n      ENDDO\n"
+            "      END\n"
+        )
+        result = compiled(src)
+        text = annotate(result, style="omp")
+        assert "C$OMP" not in text
+
+    def test_reduction_directive_rendered(self):
+        src = (
+            "      SUBROUTINE total(a, n, acc)\n"
+            "      REAL a(100), acc\n      INTEGER n, i\n"
+            "      DO i = 1, n\n        acc = acc + a(i)\n      ENDDO\n"
+            "      END\n"
+        )
+        text = annotate(compiled(src), style="omp")
+        assert "REDUCTION(+:ACC)" in text
+        sgi = annotate(compiled(src), style="sgi")
+        assert "REDUCTION(ACC)" in sgi
+
+
+class TestRoundTrip:
+    def test_annotated_source_reparses(self):
+        result = compiled()
+        text = annotate(result, style="omp")
+        program = parse_program(text)  # directives are comments
+        assert program.unit("smooth")
+
+    def test_reanalysis_agrees(self):
+        result = compiled()
+        text = annotate(result, style="sgi")
+        again = Panorama().compile(text)
+        assert [r.status for r in again.loops] == [
+            r.status for r in result.loops
+        ]
+
+    def test_multi_unit_program(self):
+        src = WORK_LOOP + (
+            "      PROGRAM main\n      REAL a(1000), b(1000)\n"
+            "      CALL smooth(a, b, 10, 5)\n      END\n"
+        )
+        result = compiled(src)
+        text = annotate(result, style="omp")
+        assert "PROGRAM main" in text
+        assert "SUBROUTINE smooth" in text
+        parse_program(text)
+
+
+class TestInductionClauses:
+    def test_induction_variable_privatized(self):
+        src = (
+            "      SUBROUTINE bump(a, n)\n"
+            "      REAL a(100)\n      INTEGER n, i, k\n"
+            "      k = 0\n"
+            "      DO i = 1, n\n"
+            "        k = k + 1\n"
+            "        a(k) = 1.0\n"
+            "      ENDDO\n"
+            "      END\n"
+        )
+        result = compiled(src)
+        loop = [r for r in result.loops if r.var == "i"][0]
+        assert loop.parallel
+        clauses = clauses_for(loop, result)
+        assert "k" in clauses.inductions
+        assert "k" in clauses.private
+        text = annotate(result, style="omp")
+        assert "PRIVATE(" in text and "K" in text

@@ -1,0 +1,177 @@
+"""Unit tests for AST → symbolic conversion (repro.dataflow.convert)."""
+
+from fractions import Fraction
+
+from repro.dataflow.convert import (
+    ConversionContext,
+    to_predicate,
+    to_symexpr,
+)
+from repro.fortran import analyze, parse_program
+from repro.fortran.ast_nodes import Assign
+from repro.symbolic import Predicate, Relation, RelOp, sym
+
+
+def ctx_for(decls: str = "", **kw) -> ConversionContext:
+    src = (
+        "      SUBROUTINE s\n"
+        + "".join(f"      {d}\n" for d in decls.split(";") if d)
+        + "      zz = 0\n      END\n"
+    )
+    table = analyze(parse_program(src)).table("s")
+    return ConversionContext(table, **kw)
+
+
+def parse_expr(text: str, ctx: ConversionContext):
+    src = f"      SUBROUTINE s2\n      zz = {text}\n      END\n"
+    program = parse_program(src)
+    stmt = program.unit("s2").body[0]
+    assert isinstance(stmt, Assign)
+    # resolve applies against the supplied context's table
+    from repro.fortran.semantics import _resolve_applies
+
+    _resolve_applies(program.unit("s2"), ctx.table, set(), set())
+    return stmt.value
+
+
+class TestToSymexpr:
+    def test_literals_and_vars(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("42", ctx), ctx) == sym(42)
+        assert to_symexpr(parse_expr("n", ctx), ctx) == sym("n")
+
+    def test_arithmetic(self):
+        ctx = ctx_for()
+        e = to_symexpr(parse_expr("2 * i + n - 1", ctx), ctx)
+        assert e == sym("i") * 2 + sym("n") - 1
+
+    def test_unary(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("-i", ctx), ctx) == -sym("i")
+        assert to_symexpr(parse_expr("+i", ctx), ctx) == sym("i")
+
+    def test_exact_division(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("(4 * i) / 2", ctx), ctx) == sym("i") * 2
+
+    def test_truncating_division_unknown(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("i / 2", ctx), ctx) is None
+
+    def test_division_by_symbol_unknown(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("i / n", ctx), ctx) is None
+
+    def test_power(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("i ** 2", ctx), ctx) == sym("i") * sym("i")
+
+    def test_large_power_unknown(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("i ** 9", ctx), ctx) is None
+
+    def test_array_ref_unknown(self):
+        ctx = ctx_for("REAL a(10)")
+        assert to_symexpr(parse_expr("a(1)", ctx), ctx) is None
+
+    def test_real_literal_unknown(self):
+        ctx = ctx_for()
+        assert to_symexpr(parse_expr("1.5", ctx), ctx) is None
+
+    def test_parameter_inlined(self):
+        ctx = ctx_for("PARAMETER (n = 5)")
+        assert to_symexpr(parse_expr("n + 1", ctx), ctx) == sym(6)
+
+    def test_bindings_take_precedence(self):
+        ctx = ctx_for()
+        ctx.bindings["k"] = sym("j") + 1
+        assert to_symexpr(parse_expr("k", ctx), ctx) == sym("j") + 1
+
+    def test_nonsymbolic_mode_rejects_plain_vars(self):
+        ctx = ctx_for(symbolic=False)
+        assert to_symexpr(parse_expr("n", ctx), ctx) is None
+        assert to_symexpr(parse_expr("3", ctx), ctx) == sym(3)
+
+    def test_nonsymbolic_mode_allows_active_indices(self):
+        ctx = ctx_for(symbolic=False).with_index("i")
+        assert to_symexpr(parse_expr("i + 1", ctx), ctx) == sym("i") + 1
+
+    def test_fresh_opaque_unique(self):
+        ctx = ctx_for()
+        a = ctx.fresh_opaque("x")
+        b = ctx.fresh_opaque("x")
+        assert a != b
+
+
+class TestToPredicate:
+    def test_integer_comparison(self):
+        ctx = ctx_for()
+        p = to_predicate(parse_expr("i .LT. n", ctx), ctx)
+        assert p == Predicate.lt("i", "n")
+
+    def test_integer_lt_tightened(self):
+        ctx = ctx_for()
+        p = to_predicate(parse_expr("i .LT. 5", ctx), ctx)
+        (atom,) = p.unit_atoms()
+        assert atom.op is RelOp.LE  # integer tightening applied
+
+    def test_real_comparison_strict(self):
+        ctx = ctx_for("REAL x, s")
+        p = to_predicate(parse_expr("x .GT. s", ctx), ctx)
+        (atom,) = p.unit_atoms()
+        assert atom.op is RelOp.LT and not atom.integer
+
+    def test_real_literal_bound(self):
+        ctx = ctx_for("REAL x")
+        p = to_predicate(parse_expr("x .LE. 0.5", ctx), ctx)
+        (atom,) = p.unit_atoms()
+        assert atom.expr == sym("x") - Fraction(1, 2)
+
+    def test_logical_variable(self):
+        ctx = ctx_for("LOGICAL p")
+        assert to_predicate(parse_expr("p", ctx), ctx) == Predicate.boolvar("p")
+
+    def test_not(self):
+        ctx = ctx_for("LOGICAL p")
+        got = to_predicate(parse_expr(".NOT. p", ctx), ctx)
+        assert got == Predicate.boolvar("p", False)
+
+    def test_and_or(self):
+        ctx = ctx_for("LOGICAL p, q")
+        e = parse_expr("p .AND. q", ctx)
+        assert to_predicate(e, ctx) == Predicate.boolvar("p") & Predicate.boolvar("q")
+        e = parse_expr("p .OR. q", ctx)
+        assert to_predicate(e, ctx) == Predicate.boolvar("p") | Predicate.boolvar("q")
+
+    def test_logical_constants(self):
+        ctx = ctx_for()
+        assert to_predicate(parse_expr(".TRUE.", ctx), ctx).is_true()
+        assert to_predicate(parse_expr(".FALSE.", ctx), ctx).is_false()
+
+    def test_array_ref_condition_is_delta(self):
+        ctx = ctx_for("REAL b(10)")
+        p = to_predicate(parse_expr("b(1) .GT. 0.0", ctx), ctx)
+        assert p.is_unknown()
+
+    def test_nonlogical_scalar_is_delta(self):
+        ctx = ctx_for()
+        assert to_predicate(parse_expr("x", ctx), ctx).is_unknown()
+
+    def test_t2_off_everything_delta(self):
+        ctx = ctx_for("LOGICAL p", if_conditions=False)
+        assert to_predicate(parse_expr("p", ctx), ctx).is_unknown()
+        assert to_predicate(parse_expr("i .LT. 5", ctx), ctx).is_unknown()
+
+    def test_eqv_neqv(self):
+        ctx = ctx_for("LOGICAL p, q")
+        eqv = to_predicate(parse_expr("p .EQV. q", ctx), ctx)
+        assert eqv.evaluate({"p": 1, "q": 1})
+        assert not eqv.evaluate({"p": 1, "q": 0})
+        neqv = to_predicate(parse_expr("p .NEQV. q", ctx), ctx)
+        assert neqv.evaluate({"p": 1, "q": 0})
+
+    def test_mixed_int_real_comparison_is_real(self):
+        ctx = ctx_for("REAL x")
+        p = to_predicate(parse_expr("i .LT. x", ctx), ctx)
+        (atom,) = p.unit_atoms()
+        assert not atom.integer

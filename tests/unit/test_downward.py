@@ -1,0 +1,152 @@
+"""Unit tests for downward-exposed use sets (repro.dataflow.downward)."""
+
+from repro.parallelize.loop_analysis import (
+    dependence_report_with_de,
+    variable_dependences,
+)
+from repro.symbolic import Env
+from tests.conftest import compile_source
+
+
+def routine_de(source: str, unit: str = "s"):
+    hsg, analyzer = compile_source(source)
+    return analyzer.routine_de(unit)
+
+
+def sub(body: str, decls: str = "REAL a(100), b(100)") -> str:
+    decl_lines = "".join(f"      {d}\n" for d in decls.split(";") if d)
+    return f"      SUBROUTINE s\n{decl_lines}{body}      END\n"
+
+
+class TestStraightLine:
+    def test_plain_read_exposed(self):
+        de = routine_de(sub("      x = a(3)\n"))
+        assert de.for_array("a").enumerate(Env()) == {(3,)}
+
+    def test_read_then_overwrite_not_exposed(self):
+        de = routine_de(sub("      x = a(3)\n      a(3) = 1.0\n"))
+        assert de.for_array("a").is_empty()
+
+    def test_overwrite_then_read_exposed(self):
+        # the mirror of the UE case
+        de = routine_de(sub("      a(3) = 1.0\n      x = a(3)\n"))
+        assert de.for_array("a").enumerate(Env()) == {(3,)}
+
+    def test_own_statement_write_kills_read(self):
+        de = routine_de(sub("      a(3) = a(3) + 1.0\n"))
+        assert de.for_array("a").is_empty()
+
+    def test_partial_overwrite(self):
+        src = sub(
+            "      DO j = 1, 10\n        x = a(j) * 2.0\n      ENDDO\n"
+            "      DO j = 1, 4\n        a(j) = 0.0\n      ENDDO\n"
+        )
+        de = routine_de(src)
+        assert de.for_array("a").enumerate(Env()) == {
+            (j,) for j in range(5, 11)
+        }
+
+    def test_scalar_redefinition_invalidates_value(self):
+        # the read a(k) with old k is NOT killed by a later write a(k)
+        # with the new k
+        src = sub(
+            "      x = a(k)\n      k = k + 5\n      a(k) = 1.0\n",
+            "REAL a(100);INTEGER k",
+        )
+        de = routine_de(src)
+        assert not de.for_array("a").is_empty()
+
+
+class TestBranches:
+    def test_kill_only_on_one_branch(self):
+        src = sub(
+            "      x = a(1)\n"
+            "      IF (p) THEN\n        a(1) = 0.0\n      ENDIF\n",
+            "REAL a(100);LOGICAL p",
+        )
+        de = routine_de(src)
+        de_a = de.for_array("a")
+        assert de_a.enumerate(Env(p=0)) == {(1,)}
+        assert de_a.enumerate(Env(p=1)) == set()
+
+    def test_read_in_branch_guarded(self):
+        src = sub(
+            "      IF (p) THEN\n        x = a(2)\n      ENDIF\n",
+            "REAL a(100);LOGICAL p",
+        )
+        de_a = routine_de(src).for_array("a")
+        assert de_a.enumerate(Env(p=1)) == {(2,)}
+        assert de_a.enumerate(Env(p=0)) == set()
+
+
+class TestLoopsAndCalls:
+    def test_loop_de_excludes_later_iterations(self):
+        # iteration i reads a(i); iterations > i write a(i+1): the read of
+        # a(i) is never overwritten afterwards except by the NEXT write at
+        # a(i) — which never happens — so all reads stay exposed
+        src = sub("      DO i = 1, n\n        a(i) = b(i)\n      ENDDO\n")
+        de = routine_de(src)
+        assert de.for_array("b").enumerate(Env(n=3)) == {(1,), (2,), (3,)}
+
+    def test_loop_de_killed_by_later_iterations(self):
+        # iteration i reads a(i+1); iteration i+1 overwrites a(i+1):
+        # only the LAST iteration's read survives
+        src = sub("      DO i = 1, n\n        a(i) = a(i+1)\n      ENDDO\n")
+        de_a = routine_de(src).for_array("a")
+        assert de_a.enumerate(Env(n=5)) == {(6,)}
+
+    def test_call_kill(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n      INTEGER n\n"
+            "      REAL x\n"
+            "      n = 6\n      x = a(3)\n      CALL fill(a, n)\n      END\n"
+            "      SUBROUTINE fill(w, m)\n      REAL w(100)\n"
+            "      INTEGER m, j\n"
+            "      DO j = 1, m\n        w(j) = 1.0\n      ENDDO\n      END\n"
+        )
+        de_a = routine_de(src).for_array("a")
+        assert de_a.enumerate(Env()) == set()
+
+    def test_call_de_mapped(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n      INTEGER n\n"
+            "      n = 4\n      CALL reader(a, n)\n      END\n"
+            "      SUBROUTINE reader(w, m)\n      REAL w(100)\n"
+            "      INTEGER m, j\n      REAL y\n"
+            "      DO j = 1, m\n        y = w(j)\n      ENDDO\n      END\n"
+        )
+        de_a = routine_de(src).for_array("a")
+        assert de_a.enumerate(Env()) == {(1,), (2,), (3,), (4,)}
+
+
+class TestRefinedAntiDependence:
+    def test_ue_reports_anti_de_refutes_it(self):
+        # iteration i reads a(i+1) (upward exposed) and then overwrites it
+        # in the same iteration; iteration i+1 also writes a(i+1) through
+        # its a(i') reference.  The UE-based anti test fires (exposed read
+        # meets MOD_{>i}), but the same-iteration overwrite precedes any
+        # later iteration's write, so no anti dependence actually crosses
+        # iterations: the DE-based test (the paper's footnote) sees that.
+        src = sub(
+            "      DO i = 1, n\n"
+            "        x = a(i+1)\n"
+            "        a(i+1) = x + 1.0\n"
+            "        a(i) = 1.0\n"
+            "      ENDDO\n"
+        )
+        hsg, analyzer = compile_source(src)
+        unit, loop = next(iter(hsg.all_loops()))
+        record = analyzer.loop_record(unit, loop)
+        de_i, _ = analyzer.loop_de_sets(loop, analyzer.context_for(unit))
+        ue_report = variable_dependences("a", record, analyzer.comparer)
+        de_report = dependence_report_with_de(
+            "a", record, de_i, analyzer.comparer
+        )
+        # UE-based: the exposed read a(i+1) meets MOD_{>i} = a(i+2:n+1)...
+        # it actually meets a(i+1) written by iteration i+1 -> anti fires
+        assert ue_report.anti
+        # DE-based: the same-iteration overwrite removes the exposure
+        assert not de_report.anti
+        # flow and output are unaffected by the refinement
+        assert de_report.flow == ue_report.flow
+        assert de_report.output == ue_report.output

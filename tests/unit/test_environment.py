@@ -1,0 +1,107 @@
+"""Unit tests for evaluation environments and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.symbolic import Env, Predicate, all_envs, sym
+
+
+class TestEnv:
+    def test_mapping_protocol(self):
+        env = Env(a=1, b=2)
+        assert env["a"] == 1
+        assert len(env) == 2
+        assert set(env) == {"a", "b"}
+
+    def test_values_coerced_to_int(self):
+        env = Env(a=True, b=3)
+        assert env["a"] == 1
+
+    def test_extend_is_persistent(self):
+        env = Env(a=1)
+        env2 = env.extend(b=2)
+        assert "b" not in env
+        assert env2["b"] == 2 and env2["a"] == 1
+
+    def test_extend_overrides(self):
+        assert Env(a=1).extend(a=5)["a"] == 5
+
+    def test_eval_expr(self):
+        assert Env(x=3).eval_expr(sym("x") * 2 + 1) == 7
+
+    def test_eval_expr_nonint_raises(self):
+        from repro.errors import SymbolicError
+
+        with pytest.raises(SymbolicError):
+            Env(x=3).eval_expr(sym("x").div_const(2))
+
+    def test_eval_pred(self):
+        env = Env(i=2, n=5)
+        assert env.eval_pred(Predicate.le("i", "n"))
+
+    def test_repr(self):
+        assert "a=1" in repr(Env(a=1))
+
+
+class TestAllEnvs:
+    def test_exhaustive_enumeration(self):
+        envs = list(all_envs(["a", "b"], 0, 1))
+        assert len(envs) == 4
+        pairs = {(e["a"], e["b"]) for e in envs}
+        assert pairs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_empty_names(self):
+        envs = list(all_envs([], 0, 5))
+        assert len(envs) == 1
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            errors.SourceError,
+            errors.LexError,
+            errors.ParseError,
+            errors.SemanticError,
+            errors.CallGraphError,
+            errors.SymbolicError,
+            errors.RegionError,
+            errors.HSGError,
+            errors.AnalysisError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_lex_error_position(self):
+        err = errors.LexError("bad", line=3, col=7)
+        assert err.line == 3 and err.col == 7
+        assert "line 3" in str(err)
+
+    def test_parse_error_line(self):
+        err = errors.ParseError("oops", line=12)
+        assert "line 12" in str(err)
+
+    def test_callgraph_is_semantic(self):
+        assert issubclass(errors.CallGraphError, errors.SemanticError)
+
+
+class TestKernelRegistry:
+    def test_lookup(self):
+        from repro.kernels import get_kernel, kernels_for_program
+
+        k = get_kernel("trfd", "olda", 100)
+        assert k.program == "TRFD"
+        assert k.loop_id == "olda/100"
+        assert k.full_id == "TRFD:olda/100"
+        assert len(kernels_for_program("ocean")) == 3
+
+    def test_missing_raises(self):
+        from repro.kernels import get_kernel
+
+        with pytest.raises(KeyError):
+            get_kernel("NOPE", "x", 1)
+
+    def test_registry_complete(self):
+        from repro.kernels import KERNELS
+
+        assert len(KERNELS) == 12
+        programs = {k.program for k in KERNELS}
+        assert programs == {"TRACK", "MDG", "TRFD", "OCEAN", "ARC2D"}

@@ -1,0 +1,189 @@
+"""Unit tests for the expansion function (paper section 4.1)."""
+
+from repro.dataflow.expansion import expand_gar, expand_gar_list
+from repro.regions import GAR, GARList, OMEGA_DIM, Range, RegularRegion
+from repro.symbolic import Comparer, Env, Predicate, sym
+
+
+def gar(dims, guard=None, array="a"):
+    return GAR(
+        guard if guard is not None else Predicate.true(),
+        RegularRegion(array, dims),
+    )
+
+
+def oracle(g: GAR, index: str, lo: int, hi: int, step: int, env: Env) -> set:
+    out = set()
+    i = lo
+    while i <= hi:
+        out |= g.enumerate(env.extend(**{index: i}))
+        i += step
+    return out
+
+
+def check(g, index, lo, hi, envs, step=1, cmp=None):
+    cmp = cmp or Comparer()
+    result = expand_gar(
+        g, index, sym(lo), sym(hi), sym(step), cmp
+    )
+    for env in envs:
+        want = oracle(g, index, env.eval_expr(sym(lo)) if isinstance(lo, str) else lo,
+                      env.eval_expr(sym(hi)) if isinstance(hi, str) else hi,
+                      step, env)
+        got = result.enumerate(env)
+        assert got == want, f"{g} over {index}={lo}..{hi}: {got} != {want}"
+    return result
+
+
+class TestIndexFree:
+    def test_unchanged_with_trip_guard(self, cmp):
+        g = gar([Range(1, "m")])
+        out = expand_gar(g, "i", sym(1), sym("n"), sym(1), cmp)
+        (res,) = out.gars
+        assert res.region == g.region
+        # occurs only if the loop runs: 1 <= n
+        assert res.guard.evaluate(Env(n=0, m=5)) is False
+        assert res.guard.evaluate(Env(n=3, m=5)) is True
+
+
+class TestPointDims:
+    def test_unit_coefficient(self, cmp):
+        g = gar([Range.point(sym("i"))])
+        out = check(g, "i", 1, 10, [Env()])
+        (res,) = out.gars
+        assert res.region == RegularRegion("a", [Range(1, 10)])
+        assert res.exact
+
+    def test_offset(self, cmp):
+        g = gar([Range.point(sym("i") + 4)])
+        check(g, "i", 2, 5, [Env()])
+
+    def test_coefficient_two_strided(self, cmp):
+        g = gar([Range.point(sym("i") * 2)])
+        out = check(g, "i", 1, 5, [Env()])
+        (res,) = out.gars
+        assert res.region.dims[0].step == sym(2)
+
+    def test_negative_coefficient(self, cmp):
+        g = gar([Range.point(-sym("i") + 10)])
+        check(g, "i", 1, 4, [Env()])
+
+    def test_loop_step(self, cmp):
+        g = gar([Range.point(sym("i"))])
+        result = expand_gar(g, "i", sym(1), sym(9), sym(2), Comparer())
+        assert result.enumerate(Env()) == {(1,), (3,), (5,), (7,), (9,)}
+
+    def test_symbolic_bounds(self, cmp):
+        g = gar([Range.point(sym("i"))])
+        result = expand_gar(g, "i", sym("lo"), sym("hi"), sym(1), Comparer())
+        assert result.enumerate(Env(lo=3, hi=6)) == {(3,), (4,), (5,), (6,)}
+        assert result.enumerate(Env(lo=6, hi=3)) == set()
+
+
+class TestWindows:
+    def test_static_window_union(self, cmp):
+        # (i : i+2) over i=1..5 -> (1:7), overlapping so exact
+        g = gar([Range(sym("i"), sym("i") + 2)])
+        out = check(g, "i", 1, 5, [Env()])
+        (res,) = out.gars
+        assert res.exact
+
+    def test_sparse_window_inexact_overapprox(self, cmp):
+        # (2i : 2i+0) handled as point; use width-1 window with stride-3 idx
+        g = gar([Range(sym("i") * 3, sym("i") * 3 + 1)])
+        out = expand_gar(g, "i", sym(1), sym(3), sym(1), Comparer())
+        got = out.enumerate(Env())
+        want = {(3,), (4,), (6,), (7,), (9,), (10,)}
+        assert got >= want  # over-approximation
+        assert not all(g.exact for g in out.gars)
+
+    def test_growing_upper(self, cmp):
+        # (1 : i): nested ranges, exact union (1 : hi)
+        g = gar([Range(1, sym("i"))])
+        out = check(g, "i", 1, 6, [Env()])
+        (res,) = out.gars
+        assert res.exact
+
+    def test_shrinking_lower(self, cmp):
+        # (i : 10): union (lo : 10)
+        g = gar([Range(sym("i"), 10)])
+        check(g, "i", 2, 8, [Env()])
+
+
+class TestGuardHandling:
+    def test_bounds_from_guard_tighten(self, cmp):
+        # [c <= i <= d] A(i) expanded over 1..n
+        g = gar([Range.point(sym("i"))],
+                Predicate.ge("i", "c") & Predicate.le("i", "d"))
+        result = expand_gar(g, "i", sym(1), sym("n"), sym(1), Comparer())
+        for env in (Env(c=3, d=5, n=10), Env(c=0, d=4, n=2), Env(c=8, d=4, n=10)):
+            want = oracle(g, "i", 1, env["n"], 1, env)
+            assert result.enumerate(env) == want
+
+    def test_paper_example(self):
+        # T = [c <= i+1 <= d, (1:i)], loop a <= i <= b
+        g = gar(
+            [Range(1, sym("i"))],
+            Predicate.le("c", sym("i") + 1) & Predicate.le(sym("i") + 1, "d"),
+        )
+        result = expand_gar(g, "i", sym("a"), sym("b"), sym(1), Comparer())
+        for env in (Env(a=1, b=10, c=3, d=8), Env(a=2, b=4, c=1, d=9)):
+            want = oracle(g, "i", env["a"], env["b"], 1, env)
+            assert result.enumerate(env) == want
+
+    def test_pinned_equality(self, cmp):
+        # [i == k] A(i) over 1..n: single element k when within bounds
+        g = gar([Range.point(sym("i"))], Predicate.eq("i", "k"))
+        result = expand_gar(g, "i", sym(1), sym("n"), sym(1), Comparer())
+        assert result.enumerate(Env(k=4, n=10)) == {(4,)}
+        assert result.enumerate(Env(k=12, n=10)) == set()
+        assert all(g.exact for g in result.gars)
+
+    def test_guard_without_index_kept(self, cmp):
+        g = gar([Range.point(sym("i"))], Predicate.boolvar("p"))
+        result = expand_gar(g, "i", sym(1), sym(5), sym(1), Comparer())
+        assert result.enumerate(Env(p=0)) == set()
+        assert result.enumerate(Env(p=1)) == {(k,) for k in range(1, 6)}
+
+    def test_residual_guard_drops_to_overapprox(self, cmp):
+        # a clause mixing the index with OR cannot be solved: inexact
+        clause = Predicate.le("i", 3) | Predicate.boolvar("p")
+        g = gar([Range.point(sym("i"))], clause)
+        result = expand_gar(g, "i", sym(1), sym(5), sym(1), Comparer())
+        got = result.enumerate(Env(p=0))
+        want = oracle(g, "i", 1, 5, 1, Env(p=0))
+        assert got >= want
+        assert not all(x.exact for x in result.gars)
+
+
+class TestDimensionRules:
+    def test_index_in_two_dims_becomes_omega(self, cmp):
+        g = gar([Range.point(sym("i")), Range.point(sym("i"))])
+        result = expand_gar(g, "i", sym(1), sym(5), sym(1), Comparer())
+        (res,) = result.gars
+        assert res.region.dims[0] is OMEGA_DIM
+        assert res.region.dims[1] is OMEGA_DIM
+        assert not res.exact
+
+    def test_nonlinear_index_becomes_omega(self, cmp):
+        g = gar([Range.point(sym("i") * sym("i"))])
+        result = expand_gar(g, "i", sym(1), sym(5), sym(1), Comparer())
+        (res,) = result.gars
+        assert res.region.dims[0] is OMEGA_DIM
+
+    def test_untouched_dims_preserved(self, cmp):
+        g = gar([Range.point(sym("i")), Range(1, "m")])
+        result = expand_gar(g, "i", sym(1), sym(5), sym(1), Comparer())
+        (res,) = result.gars
+        assert res.region.dims[1] == Range(1, "m")
+
+
+class TestListExpansion:
+    def test_union_and_simplify(self, cmp):
+        lst = GARList.of(
+            gar([Range.point(sym("i"))]),
+            gar([Range.point(sym("i") + 1)]),
+        )
+        result = expand_gar_list(lst, "i", sym(1), sym(5), sym(1), Comparer())
+        assert result.enumerate(Env()) == {(k,) for k in range(1, 7)}
+        assert len(result) == 1  # merged by the simplifier

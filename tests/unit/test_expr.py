@@ -1,0 +1,187 @@
+"""Unit tests for symbolic expressions (repro.symbolic.expr)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import SymExpr, sym
+from repro.symbolic.terms import Monomial
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert SymExpr().is_zero()
+        assert sym(0).is_zero()
+
+    def test_const(self):
+        e = SymExpr.const(7)
+        assert e.is_constant()
+        assert e.constant_value() == 7
+
+    def test_var(self):
+        e = SymExpr.var("n")
+        assert not e.is_constant()
+        assert e.free_vars() == frozenset({"n"})
+
+    def test_coerce_str_int_expr(self):
+        assert SymExpr.coerce("x") == SymExpr.var("x")
+        assert SymExpr.coerce(3) == SymExpr.const(3)
+        e = sym("x") + 1
+        assert SymExpr.coerce(e) is e
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            SymExpr.coerce(object())
+
+    def test_zero_coefficients_dropped(self):
+        e = sym("x") - sym("x")
+        assert e.is_zero()
+        assert e.terms == ()
+
+
+class TestAlgebra:
+    def test_add_merges_terms(self):
+        e = sym("x") + sym("x") + 1
+        assert e.coeff_of_var("x") == 2
+        assert e.constant_term() == 1
+
+    def test_sub(self):
+        e = (sym("x") + 5) - (sym("y") + 2)
+        assert e.coeff_of_var("x") == 1
+        assert e.coeff_of_var("y") == -1
+        assert e.constant_term() == 3
+
+    def test_neg(self):
+        e = -(sym("x") + 1)
+        assert e.coeff_of_var("x") == -1
+        assert e.constant_term() == -1
+
+    def test_mul_distributes(self):
+        e = (sym("x") + 1) * (sym("x") - 1)
+        assert e.coeff_of(Monomial.var("x", 2)) == 1
+        assert e.coeff_of_var("x") == 0
+        assert e.constant_term() == -1
+
+    def test_mul_by_constant(self):
+        e = (sym("x") + 2) * 3
+        assert e.coeff_of_var("x") == 3
+        assert e.constant_term() == 6
+
+    def test_radd_rsub_rmul(self):
+        assert 1 + sym("x") == sym("x") + 1
+        assert 5 - sym("x") == -(sym("x")) + 5
+        assert 2 * sym("x") == sym("x") * 2
+
+    def test_div_const_exact(self):
+        e = (sym("x") * 4 + 6).div_const(2)
+        assert e.coeff_of_var("x") == 2
+        assert e.constant_term() == 3
+
+    def test_div_const_fractional(self):
+        e = sym("x").div_const(2)
+        assert e.coeff_of_var("x") == Fraction(1, 2)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(SymbolicError):
+            sym("x").div_const(0)
+
+    def test_scaled(self):
+        assert sym("x").scaled(Fraction(3, 2)).coeff_of_var("x") == Fraction(3, 2)
+
+
+class TestStructure:
+    def test_degree(self):
+        assert sym(3).degree() == 0
+        assert sym("x").degree() == 1
+        assert (sym("x") * sym("y")).degree() == 2
+
+    def test_is_linear(self):
+        assert (sym("x") + sym("y") + 3).is_linear()
+        assert not (sym("x") * sym("y")).is_linear()
+
+    def test_is_linear_in(self):
+        e = sym("x") * sym("y") + sym("z")
+        assert not e.is_linear_in("x")
+        assert e.is_linear_in("z")
+        assert (sym("x") + sym("y")).is_linear_in("x")
+
+    def test_constant_value_nonconstant(self):
+        assert (sym("x") + 1).constant_value() is None
+
+    def test_non_constant_part(self):
+        e = sym("x") + 7
+        assert e.non_constant_part() == sym("x")
+
+    def test_contains(self):
+        e = sym("x") * sym("y")
+        assert e.contains("x") and e.contains("y")
+        assert not e.contains("z")
+
+    def test_has_integer_coeffs(self):
+        assert (sym("x") * 2).has_integer_coeffs()
+        assert not sym("x").div_const(2).has_integer_coeffs()
+
+    def test_monomials(self):
+        e = sym("x") + 3
+        assert Monomial.var("x") in e.monomials()
+
+
+class TestSubstitutionEvaluation:
+    def test_substitute_simple(self):
+        e = sym("x") + 1
+        assert e.substitute({"x": sym("y")}) == sym("y") + 1
+
+    def test_substitute_simultaneous(self):
+        e = sym("x") + sym("y")
+        out = e.substitute({"x": sym("y"), "y": sym("x")})
+        assert out == sym("x") + sym("y")
+
+    def test_substitute_into_product(self):
+        e = sym("x") * sym("x")
+        out = e.substitute({"x": sym("y") + 1})
+        assert out == (sym("y") + 1) * (sym("y") + 1)
+
+    def test_substitute_no_hit_returns_self(self):
+        e = sym("x") + 1
+        assert e.substitute({"z": sym("y")}) is e
+
+    def test_rename(self):
+        e = sym("x") + sym("y")
+        assert e.rename({"x": "a"}) == sym("a") + sym("y")
+
+    def test_evaluate(self):
+        e = sym("x") * sym("y") + 3
+        assert e.evaluate({"x": 2, "y": 5}) == 13
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(KeyError):
+            sym("x").evaluate({})
+
+    def test_evaluate_int(self):
+        assert (sym("x") + 1).evaluate_int({"x": 2}) == 3
+
+    def test_evaluate_int_rejects_fraction(self):
+        with pytest.raises(SymbolicError):
+            sym("x").div_const(2).evaluate_int({"x": 3})
+
+
+class TestIdentityAndDisplay:
+    def test_eq_with_number(self):
+        assert sym(4) == 4
+        assert sym("x") != 4
+
+    def test_hash_consistent(self):
+        assert hash(sym("x") + 1) == hash(1 + sym("x"))
+
+    def test_str_ordering_constant_last(self):
+        assert str(sym("i") + 3) == "i+3"
+
+    def test_str_negative(self):
+        assert str(-sym("i") + 1) == "-i+1"
+
+    def test_str_zero(self):
+        assert str(SymExpr()) == "0"
+
+    def test_str_coefficient(self):
+        assert str(sym("x") * 2) == "2*x"

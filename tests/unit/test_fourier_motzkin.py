@@ -1,0 +1,125 @@
+"""Unit tests for the Fourier–Motzkin engine."""
+
+from repro.symbolic import (
+    BoolAtom,
+    Relation,
+    definitely_unsat,
+    implied_by,
+    sym,
+)
+
+
+class TestUnsat:
+    def test_empty_is_sat(self):
+        assert not definitely_unsat([])
+
+    def test_simple_conflict(self):
+        assert definitely_unsat([Relation.le("i", 3), Relation.ge("i", 5)])
+
+    def test_simple_satisfiable(self):
+        assert not definitely_unsat([Relation.le("i", 3), Relation.ge("i", 1)])
+
+    def test_transitive_conflict(self):
+        # i <= j, j <= k, k <= i - 1
+        atoms = [
+            Relation.le("i", "j"),
+            Relation.le("j", "k"),
+            Relation.le("k", sym("i") - 1),
+        ]
+        assert definitely_unsat(atoms)
+
+    def test_transitive_satisfiable(self):
+        atoms = [
+            Relation.le("i", "j"),
+            Relation.le("j", "k"),
+            Relation.le("k", "i"),
+        ]
+        assert not definitely_unsat(atoms)
+
+    def test_equality_expansion(self):
+        assert definitely_unsat([Relation.eq("i", 3), Relation.ge("i", 4)])
+        assert not definitely_unsat([Relation.eq("i", 3), Relation.ge("i", 3)])
+
+    def test_ne_split_integer(self):
+        # i != 3 with 3 <= i <= 3 forces contradiction
+        atoms = [
+            Relation.ne("i", 3),
+            Relation.ge("i", 3),
+            Relation.le("i", 3),
+        ]
+        assert definitely_unsat(atoms)
+
+    def test_ne_split_satisfiable(self):
+        atoms = [Relation.ne("i", 3), Relation.ge("i", 3), Relation.le("i", 4)]
+        assert not definitely_unsat(atoms)
+
+    def test_strict_real_conflict(self):
+        # x < y and y < x
+        atoms = [
+            Relation.lt("x", "y", integer=False),
+            Relation.lt("y", "x", integer=False),
+        ]
+        assert definitely_unsat(atoms)
+
+    def test_strict_boundary(self):
+        # x < y and y <= x is unsat; x <= y and y <= x is sat (x == y)
+        assert definitely_unsat(
+            [
+                Relation.lt("x", "y", integer=False),
+                Relation.le("y", "x", integer=False),
+            ]
+        )
+        assert not definitely_unsat(
+            [
+                Relation.le("x", "y", integer=False),
+                Relation.le("y", "x", integer=False),
+            ]
+        )
+
+    def test_bool_conflict(self):
+        assert definitely_unsat([BoolAtom("p"), BoolAtom("p", False)])
+        assert not definitely_unsat([BoolAtom("p"), BoolAtom("q", False)])
+
+    def test_constant_false_atom(self):
+        assert definitely_unsat([Relation.le(5, 3)])
+
+    def test_nonlinear_linearization_sound(self):
+        # i*i <= 3 and i*i >= 5: the shared monomial conflicts
+        sq = sym("i") * sym("i")
+        assert definitely_unsat([Relation.le(sq, 3), Relation.ge(sq, 5)])
+
+    def test_nonlinear_distinct_monomials_not_proven(self):
+        # i*j >= 5 and i <= 0: genuinely unsat over positive reasoning but
+        # the linearization treats i*j as independent; must NOT claim unsat
+        atoms = [Relation.ge(sym("i") * sym("j"), 5), Relation.le("i", 0)]
+        assert not definitely_unsat(atoms)
+
+    def test_scaled_conflict(self):
+        # 2i <= 5 (=> i <= 2) and 3i >= 9 (=> i >= 3)
+        assert definitely_unsat(
+            [Relation.le(sym("i") * 2, 5), Relation.ge(sym("i") * 3, 9)]
+        )
+
+
+class TestImpliedBy:
+    def test_direct(self):
+        assert implied_by([Relation.le("i", 3)], Relation.le("i", 5))
+
+    def test_chain(self):
+        context = [Relation.le("i", "j"), Relation.le("j", "n")]
+        assert implied_by(context, Relation.le("i", "n"))
+        assert not implied_by(context, Relation.le("n", "i"))
+
+    def test_equality_context(self):
+        assert implied_by([Relation.eq("i", "j")], Relation.le("i", "j"))
+        assert implied_by([Relation.eq("i", "j")], Relation.ge("i", "j"))
+
+    def test_integer_gap(self):
+        # i <= 3 implies i != 4 (integers)
+        assert implied_by([Relation.le("i", 3)], Relation.ne("i", 4))
+
+    def test_not_implied(self):
+        assert not implied_by([Relation.le("i", 5)], Relation.le("i", 3))
+
+    def test_empty_context_tautology(self):
+        assert implied_by([], Relation.le("i", sym("i") + 1))

@@ -1,0 +1,137 @@
+"""Unit tests for GARs and GAR lists (repro.regions.gar)."""
+
+import pytest
+
+from repro.symbolic import Env, Predicate, sym
+from repro.regions import GAR, GARList, OMEGA_DIM, Range, RegularRegion
+
+
+def region(lo, hi, array="a"):
+    return RegularRegion(array, [Range(lo, hi)])
+
+
+class TestGARConstruction:
+    def test_guard_gets_nonempty_conditions(self):
+        g = GAR(Predicate.true(), region("l", "u"))
+        assert g.guard == Predicate.le("l", "u")
+
+    def test_statically_empty_region_folds_guard(self):
+        g = GAR(Predicate.true(), region(5, 4))
+        assert g.is_empty()
+
+    def test_false_guard_is_empty(self):
+        g = GAR(Predicate.false(), region(1, 5))
+        assert g.is_empty()
+
+    def test_of_reference(self):
+        g = GAR.of_reference("a", [sym("i"), sym("j")])
+        assert g.region == RegularRegion.point("a", [sym("i"), sym("j")])
+        assert g.exact
+
+    def test_omega(self):
+        g = GAR.omega("a", 2)
+        assert g.is_omega()
+        assert not g.exact
+
+    def test_unknown_guard_is_inexact(self):
+        g = GAR(Predicate.unknown(), region(1, 5))
+        assert not g.exact
+
+    def test_omega_dims_are_inexact(self):
+        g = GAR(Predicate.true(), RegularRegion("a", [OMEGA_DIM]))
+        assert not g.exact
+
+
+class TestGARBehavior:
+    def test_provably_empty_via_fm(self):
+        g = GAR(Predicate.le("u", sym("l") - 1), region("l", "u"))
+        assert g.provably_empty()
+
+    def test_and_guard(self):
+        g = GAR(Predicate.true(), region(1, 5)).and_guard(Predicate.boolvar("p"))
+        assert g.guard == Predicate.boolvar("p")
+
+    def test_and_guard_true_is_identity(self):
+        g = GAR(Predicate.boolvar("p"), region(1, 5))
+        assert g.and_guard(Predicate.true()) is g
+
+    def test_and_guard_unknown_inexact(self):
+        g = GAR(Predicate.true(), region(1, 5)).and_guard(Predicate.unknown())
+        assert not g.exact
+
+    def test_substitute(self):
+        g = GAR(Predicate.le("i", "n"), region("i", sym("i") + 2))
+        out = g.substitute({"i": sym(3)})
+        assert out.region == region(3, 5)
+        assert out.guard == Predicate.le(3, "n")
+
+    def test_rename_renames_array_too(self):
+        g = GAR(Predicate.true(), region(1, 5)).rename({"a": "a"})
+        assert g.array == "a"
+
+    def test_with_array(self):
+        g = GAR(Predicate.true(), region(1, 5)).with_array("b")
+        assert g.array == "b"
+
+    def test_enumerate_guard_false_env(self):
+        g = GAR(Predicate.boolvar("p"), region(1, 3))
+        assert g.enumerate(Env(p=0)) == set()
+        assert g.enumerate(Env(p=1)) == {(1,), (2,), (3,)}
+
+    def test_enumerate_unknown_guard_raises(self):
+        g = GAR(Predicate.unknown(), region(1, 3))
+        with pytest.raises(ValueError):
+            g.enumerate(Env())
+
+    def test_free_vars(self):
+        g = GAR(Predicate.boolvar("p"), region("l", "u"))
+        assert g.free_vars() == frozenset({"p", "l", "u"})
+
+
+class TestGARList:
+    def test_drops_statically_empty(self):
+        lst = GARList(
+            [
+                GAR(Predicate.false(), region(1, 5)),
+                GAR(Predicate.true(), region(1, 3)),
+            ]
+        )
+        assert len(lst) == 1
+
+    def test_union_and_add(self):
+        a = GARList.of(GAR(Predicate.true(), region(1, 3)))
+        b = a.add(GAR(Predicate.true(), region(7, 9)))
+        assert len(b) == 2
+        assert len(a) == 1
+
+    def test_is_exact(self):
+        exact = GARList.of(GAR(Predicate.true(), region(1, 3)))
+        assert exact.is_exact()
+        assert not exact.union(GARList.of(GAR.omega("a", 1))).is_exact()
+
+    def test_arrays_and_for_array(self):
+        lst = GARList.of(
+            GAR(Predicate.true(), region(1, 3, "a")),
+            GAR(Predicate.true(), region(1, 3, "b")),
+        )
+        assert lst.arrays() == frozenset({"a", "b"})
+        assert len(lst.for_array("a")) == 1
+
+    def test_enumerate(self):
+        lst = GARList.of(
+            GAR(Predicate.true(), region(1, 2)),
+            GAR(Predicate.boolvar("p"), region(5, 5)),
+        )
+        assert lst.enumerate(Env(p=1)) == {(1,), (2,), (5,)}
+        assert lst.enumerate(Env(p=0)) == {(1,), (2,)}
+
+    def test_equality_order_insensitive(self):
+        g1 = GAR(Predicate.true(), region(1, 3))
+        g2 = GAR(Predicate.true(), region(5, 9))
+        assert GARList.of(g1, g2) == GARList.of(g2, g1)
+        assert hash(GARList.of(g1, g2)) == hash(GARList.of(g2, g1))
+
+    def test_provably_empty(self):
+        lst = GARList.of(GAR(Predicate.le("u", sym("l") - 1), region("l", "u")))
+        assert lst.provably_empty()
+        assert GARList.empty().provably_empty()

@@ -1,0 +1,73 @@
+"""Unit tests for the GAR simplifier (paper section 5.2)."""
+
+from repro.symbolic import Comparer, Env, Predicate, sym
+from repro.regions import GAR, GARList, Range, RegularRegion, simplify_gar_list
+
+
+def gar(lo, hi, guard=None, array="a", exact=True):
+    return GAR(
+        guard if guard is not None else Predicate.true(),
+        RegularRegion(array, [Range(lo, hi)]),
+        exact,
+    )
+
+
+class TestSimplify:
+    def test_removes_provably_empty(self, cmp):
+        lst = GARList.of(
+            gar("l", "u", Predicate.le("u", sym("l") - 1)),
+            gar(1, 5),
+        )
+        out = simplify_gar_list(lst, cmp)
+        assert len(out) == 1
+
+    def test_merges_same_region_different_guards(self, cmp):
+        lst = GARList.of(
+            gar(1, 5, Predicate.boolvar("p")),
+            gar(1, 5, Predicate.boolvar("p", False)),
+        )
+        out = simplify_gar_list(lst, cmp)
+        assert len(out) == 1
+        assert out.gars[0].guard.is_true()
+
+    def test_merges_adjacent_same_guard(self, cmp):
+        lst = GARList.of(gar(1, 5), gar(6, 10), gar(11, 20))
+        out = simplify_gar_list(lst, cmp)
+        assert len(out) == 1
+        assert out.gars[0].region == RegularRegion("a", [Range(1, 20)])
+
+    def test_removes_covered(self, cmp):
+        lst = GARList.of(gar(1, 100), gar(5, 10))
+        out = simplify_gar_list(lst, cmp)
+        assert len(out) == 1
+        assert out.gars[0].region == RegularRegion("a", [Range(1, 100)])
+
+    def test_coverage_requires_guard_implication(self, cmp):
+        big = gar(1, 100, Predicate.boolvar("p"))
+        small = gar(5, 10)  # guard True, not implied by p
+        out = simplify_gar_list(GARList.of(big, small), cmp)
+        assert len(out) == 2
+
+    def test_equal_gars_dedup(self, cmp):
+        g = gar(1, 5, Predicate.boolvar("p"))
+        out = simplify_gar_list(GARList.of(g, g), cmp)
+        assert len(out) == 1
+
+    def test_different_arrays_never_merge(self, cmp):
+        lst = GARList.of(gar(1, 5), gar(6, 10, array="b"))
+        assert len(simplify_gar_list(lst, cmp)) == 2
+
+    def test_preserves_semantics(self, cmp):
+        lst = GARList.of(
+            gar(1, "n"),
+            gar(sym("n") + 1, sym("n") + 5),
+            gar(2, 4, Predicate.boolvar("p")),
+        )
+        out = simplify_gar_list(lst, cmp)
+        for env in (Env(n=3, p=1), Env(n=3, p=0), Env(n=0, p=1)):
+            assert out.enumerate(env) == lst.enumerate(env)
+
+    def test_large_lists_skip_quadratic_pass(self, cmp):
+        gars = [gar(i * 10, i * 10 + 5) for i in range(50)]
+        out = simplify_gar_list(GARList(gars), cmp)
+        assert len(out) == 50  # beyond MAX_PAIRWISE: kept as-is

@@ -1,0 +1,204 @@
+"""Unit tests for HSG construction and condensation."""
+
+import pytest
+
+from repro.errors import HSGError
+from repro.fortran import analyze, parse_program
+from repro.hsg import (
+    BasicBlockNode,
+    CallNode,
+    CondensedNode,
+    FlowGraph,
+    IfConditionNode,
+    LoopNode,
+    build_hsg,
+    condense_cycles,
+)
+
+
+def hsg_of(source: str):
+    return build_hsg(analyze(parse_program(source)))
+
+
+def nodes_of_type(graph, cls):
+    return [n for n in graph.nodes if isinstance(n, cls)]
+
+
+class TestBasicStructure:
+    def test_straight_line_single_block(self):
+        hsg = hsg_of("      SUBROUTINE s\n      x = 1\n      y = 2\n      END\n")
+        g = hsg.graph("s")
+        blocks = nodes_of_type(g, BasicBlockNode)
+        assert len(blocks) == 1
+        assert len(blocks[0].stmts) == 2
+
+    def test_if_condition_is_own_node(self):
+        src = (
+            "      SUBROUTINE s\n      IF (p) THEN\n      x = 1\n"
+            "      ELSE\n      x = 2\n      ENDIF\n      END\n"
+        )
+        g = hsg_of(src).graph("s")
+        conds = nodes_of_type(g, IfConditionNode)
+        assert len(conds) == 1
+        labels = sorted(
+            l for _, l in g.succs(conds[0]) if l is not None
+        )
+        assert labels == [False, True]
+
+    def test_logical_if_two_edges(self):
+        src = "      SUBROUTINE s\n      IF (p) x = 1\n      y = 2\n      END\n"
+        g = hsg_of(src).graph("s")
+        (cond,) = nodes_of_type(g, IfConditionNode)
+        assert len(g.succs(cond)) == 2
+
+    def test_loop_node_with_body_subgraph(self):
+        src = (
+            "      SUBROUTINE s\n      DO i = 1, n\n      a(i) = 0\n"
+            "      ENDDO\n      END\n"
+        )
+        g = hsg_of(src).graph("s")
+        (loop,) = nodes_of_type(g, LoopNode)
+        assert loop.var == "i"
+        assert isinstance(loop.body, FlowGraph)
+        assert loop.body.is_dag()
+
+    def test_call_node(self):
+        src = "      SUBROUTINE s\n      CALL f(x)\n      END\n"
+        g = hsg_of(src).graph("s")
+        (call,) = nodes_of_type(g, CallNode)
+        assert call.callee == "f"
+
+    def test_graph_is_dag(self):
+        src = (
+            "      SUBROUTINE s\n      DO i = 1, n\n      IF (p) x = 1\n"
+            "      ENDDO\n      y = 2\n      END\n"
+        )
+        assert hsg_of(src).graph("s").is_dag()
+
+    def test_all_loops_enumeration(self):
+        src = (
+            "      SUBROUTINE s\n      DO i = 1, n\n      DO j = 1, n\n"
+            "      a(i) = j\n      ENDDO\n      ENDDO\n      END\n"
+        )
+        hsg = hsg_of(src)
+        assert [l.var for _, l in hsg.all_loops()] == ["i", "j"]
+
+
+class TestGotos:
+    def test_forward_goto(self):
+        src = (
+            "      SUBROUTINE s\n      GOTO 10\n      x = 1\n"
+            " 10   y = 2\n      END\n"
+        )
+        g = hsg_of(src).graph("s")
+        # x = 1 is unreachable and pruned
+        blocks = nodes_of_type(g, BasicBlockNode)
+        texts = [str(s) for b in blocks for s in b.stmts]
+        assert "y = 2" in texts
+        assert "x = 1" not in texts
+
+    def test_conditional_goto_keeps_both_paths(self):
+        src = (
+            "      SUBROUTINE s\n      IF (p) GOTO 10\n      x = 1\n"
+            " 10   y = 2\n      END\n"
+        )
+        g = hsg_of(src).graph("s")
+        texts = [
+            str(s)
+            for b in nodes_of_type(g, BasicBlockNode)
+            for s in b.stmts
+        ]
+        assert "x = 1" in texts and "y = 2" in texts
+
+    def test_unresolved_goto_rejected_at_unit_level(self):
+        with pytest.raises(HSGError):
+            hsg_of("      SUBROUTINE s\n      GOTO 99\n      x = 1\n      END\n")
+
+    def test_premature_loop_exit_flagged(self):
+        src = (
+            "      SUBROUTINE s\n      DO i = 1, n\n"
+            "      IF (p) GOTO 99\n      a(i) = 0\n      ENDDO\n"
+            " 99   CONTINUE\n      END\n"
+        )
+        hsg = hsg_of(src)
+        (loop,) = [l for _, l in hsg.all_loops()]
+        assert loop.has_premature_exit
+
+    def test_return_inside_loop_flags_premature(self):
+        src = (
+            "      SUBROUTINE s\n      DO i = 1, n\n"
+            "      IF (p) RETURN\n      a(i) = 0\n      ENDDO\n      END\n"
+        )
+        (loop,) = [l for _, l in hsg_of(src).all_loops()]
+        assert loop.has_premature_exit
+
+    def test_goto_to_loop_bottom_is_not_premature(self):
+        src = (
+            "      SUBROUTINE s\n      DO k = 2, 5\n"
+            "      IF (b(k) .GT. 0) GOTO 1\n      a(k) = 0\n"
+            " 1    ENDDO\n      END\n"
+        )
+        (loop,) = [l for _, l in hsg_of(src).all_loops()]
+        assert not loop.has_premature_exit
+
+
+class TestCondensation:
+    def test_backward_goto_condensed(self):
+        src = (
+            "      SUBROUTINE s\n      k = 1\n"
+            " 10   CONTINUE\n      a(k) = 1\n      k = k + 1\n"
+            "      IF (k .LE. n) GOTO 10\n      END\n"
+        )
+        g = hsg_of(src).graph("s")
+        assert g.is_dag()
+        assert nodes_of_type(g, CondensedNode)
+
+    def test_condense_cycles_count(self):
+        # hand-build a two-node cycle
+        g = FlowGraph()
+        a = BasicBlockNode([])
+        b = BasicBlockNode([])
+        g.add_edge(g.entry, a)
+        g.add_edge(a, b)
+        g.add_edge(b, a)
+        g.add_edge(b, g.exit)
+        assert not g.is_dag()
+        count = condense_cycles(g)
+        assert count == 1
+        assert g.is_dag()
+
+    def test_self_loop_condensed(self):
+        g = FlowGraph()
+        a = BasicBlockNode([])
+        g.add_edge(g.entry, a)
+        g.add_edge(a, a)
+        g.add_edge(a, g.exit)
+        assert condense_cycles(g) == 1
+        assert g.is_dag()
+
+    def test_acyclic_untouched(self):
+        g = FlowGraph()
+        a = BasicBlockNode([])
+        g.add_edge(g.entry, a)
+        g.add_edge(a, g.exit)
+        assert condense_cycles(g) == 0
+        assert len(g) == 3
+
+
+class TestFlowGraph:
+    def test_topological_orders_entry_first(self):
+        src = "      SUBROUTINE s\n      x = 1\n      END\n"
+        g = hsg_of(src).graph("s")
+        order = g.topological()
+        assert order[0] is g.entry
+        assert order[-1] is g.exit
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(HSGError):
+            hsg_of(
+                "      SUBROUTINE s\n 10   x = 1\n 10   y = 2\n      END\n"
+            )
+
+    def test_dump_is_text(self):
+        g = hsg_of("      SUBROUTINE s\n      x = 1\n      END\n").graph("s")
+        assert "BB#" in g.dump()

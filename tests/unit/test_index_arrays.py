@@ -1,0 +1,106 @@
+"""Unit tests for subscript-array closed forms (paper section 6).
+
+The paper replaces ARC2D's ``JPLUS``/``JMINUS`` subscript arrays with
+their equivalent scalar expressions "through forward substitution by
+hand"; :data:`AnalysisOptions.index_array_forms` performs the same
+substitution mechanically.
+"""
+
+from repro import AnalysisOptions, Panorama
+from repro.dataflow.convert import (
+    ConversionContext,
+    subscript_placeholder,
+    to_symexpr,
+)
+from repro.fortran import analyze, parse_program
+from repro.parallelize import LoopStatus
+from repro.symbolic import sym
+
+ARC2D_STYLE = """
+      SUBROUTINE filt(a, q, jplus, n, m)
+      REAL a(200), q(200)
+      INTEGER jplus(200)
+      INTEGER n, m, i, j
+      REAL w(200)
+      REAL acc
+      DO i = 1, n
+        DO j = 1, m
+          w(j) = q(j) + q(jplus(j))
+        ENDDO
+        acc = 0.0
+        DO j = 1, m
+          acc = acc + w(jplus(j)) + w(j)
+        ENDDO
+        a(i) = acc
+      ENDDO
+      END
+"""
+
+JPLUS_FORM = AnalysisOptions(
+    index_array_forms=(("jplus", subscript_placeholder(1) + 1),)
+)
+
+
+class TestConversion:
+    def _ctx(self, forms):
+        src = (
+            "      SUBROUTINE s\n      INTEGER jm(100)\n"
+            "      zz = jm(1)\n      END\n"
+        )
+        table = analyze(parse_program(src)).table("s")
+        return ConversionContext(table, index_array_forms=dict(forms))
+
+    def _expr(self, text):
+        src = f"      SUBROUTINE s2\n      INTEGER jm(100)\n      zz = {text}\n      END\n"
+        an = analyze(parse_program(src))
+        return an.unit("s2").body[0].value, an.table("s2")
+
+    def test_form_substitution(self):
+        expr, table = self._expr("jm(k)")
+        ctx = ConversionContext(
+            table,
+            index_array_forms={"jm": subscript_placeholder(1) - 1},
+        )
+        assert to_symexpr(expr, ctx) == sym("k") - 1
+
+    def test_nested_subscript(self):
+        expr, table = self._expr("jm(k + 2)")
+        ctx = ConversionContext(
+            table,
+            index_array_forms={"jm": subscript_placeholder(1) * 2},
+        )
+        assert to_symexpr(expr, ctx) == (sym("k") + 2) * 2
+
+    def test_without_form_unknown(self):
+        expr, table = self._expr("jm(k)")
+        ctx = ConversionContext(table)
+        assert to_symexpr(expr, ctx) is None
+
+    def test_unconvertible_subscript_stays_unknown(self):
+        expr, table = self._expr("jm(zz(3))")
+        ctx = ConversionContext(
+            table,
+            index_array_forms={"jm": subscript_placeholder(1)},
+        )
+        assert to_symexpr(expr, ctx) is None
+
+
+class TestEndToEnd:
+    def test_without_forms_serial(self):
+        result = Panorama(run_machine_model=False).compile(ARC2D_STYLE)
+        assert result.loops[0].status is LoopStatus.SERIAL
+
+    def test_with_forms_privatizes(self):
+        result = Panorama(JPLUS_FORM, run_machine_model=False).compile(
+            ARC2D_STYLE
+        )
+        outer = result.loops[0]
+        assert outer.status is LoopStatus.PARALLEL_AFTER_PRIVATIZATION
+        assert "w" in outer.verdict.privatized
+
+    def test_index_array_still_counts_as_read(self):
+        result = Panorama(JPLUS_FORM, run_machine_model=False).compile(
+            ARC2D_STYLE
+        )
+        record = result.loops[0].verdict.record
+        assert "jplus" in record.ue_i.arrays()

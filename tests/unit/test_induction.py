@@ -1,0 +1,195 @@
+"""Unit tests for induction-variable handling (paper section 5.2) and the
+iteration-varying scalar soundness treatment."""
+
+from repro.parallelize import LoopStatus
+from repro.symbolic import Env
+from repro.validate import validate_loop
+from tests.conftest import loop_record, loop_verdicts
+
+
+def sub(body: str, decls: str = "REAL a(100)") -> str:
+    decl_lines = "".join(f"      {d}\n" for d in decls.split(";") if d)
+    return f"      SUBROUTINE s\n{decl_lines}{body}      END\n"
+
+
+IV_LOOP = sub(
+    "      k = 0\n"
+    "      DO i = 1, n\n"
+    "        k = k + 1\n"
+    "        a(k) = 1.0\n"
+    "      ENDDO\n",
+    "REAL a(100);INTEGER k, n, i",
+)
+
+
+class TestClosedForms:
+    def test_basic_induction_exact_mod(self):
+        rec = loop_record(IV_LOOP, "s", "i")
+        # k's entry value is 0 inside the routine, but the loop record is
+        # in loop-entry terms: a(i + k)
+        assert rec.mod_i.for_array("a").enumerate(Env(i=4, k=0, n=9)) == {(4,)}
+        assert rec.mod.for_array("a").enumerate(Env(k=0, n=5)) == {
+            (j,) for j in range(1, 6)
+        }
+
+    def test_mod_lt_tracks_induction(self):
+        rec = loop_record(IV_LOOP, "s", "i")
+        got = rec.mod_lt.for_array("a").enumerate(Env(i=4, k=0, n=9))
+        assert got == {(1,), (2,), (3,)}
+
+    def test_decrementing_induction(self):
+        src = sub(
+            "      k = 50\n"
+            "      DO i = 1, n\n"
+            "        k = k - 2\n"
+            "        a(k) = 1.0\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, i",
+        )
+        rec = loop_record(src, "s", "i")
+        got = rec.mod.for_array("a").enumerate(Env(k=50, n=3))
+        assert got == {(48,), (46,), (44,)}
+
+    def test_update_after_use(self):
+        # the use sees the pre-update value
+        src = sub(
+            "      k = 0\n"
+            "      DO i = 1, n\n"
+            "        a(k + 1) = 1.0\n"
+            "        k = k + 1\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, i",
+        )
+        rec = loop_record(src, "s", "i")
+        assert rec.mod.for_array("a").enumerate(Env(k=0, n=4)) == {
+            (j,) for j in range(1, 5)
+        }
+
+    def test_symbolic_invariant_stride(self):
+        # with an unknown-sign symbolic stride the expansion must stay
+        # conservative (the progression direction is unknowable)
+        src = sub(
+            "      k = 0\n"
+            "      DO i = 1, n\n"
+            "        k = k + m\n"
+            "        a(k) = 1.0\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, m, i",
+        )
+        rec = loop_record(src, "s", "i")
+        mod_a = rec.mod.for_array("a")
+        assert not mod_a.is_empty()
+        assert not mod_a.is_exact()
+
+    def test_known_positive_symbolic_stride_exact(self):
+        # a PARAMETER stride stays symbolic-free after inlining; use an
+        # explicit positive constant through a parameter instead
+        src = (
+            "      SUBROUTINE s(a, n)\n"
+            "      REAL a(100)\n"
+            "      INTEGER n, i, k\n"
+            "      PARAMETER (m = 4)\n"
+            "      k = 0\n"
+            "      DO i = 1, n\n"
+            "        k = k + m\n"
+            "        a(k) = 1.0\n"
+            "      ENDDO\n"
+            "      END\n"
+        )
+        rec = loop_record(src, "s", "i")
+        assert rec.mod.for_array("a").enumerate(Env(k=0, n=3)) == {
+            (4,), (8,), (12,)
+        }
+
+
+class TestConservativeFallbacks:
+    def test_conditional_update_goes_omega(self):
+        src = sub(
+            "      k = 0\n"
+            "      DO i = 1, n\n"
+            "        IF (p) k = k + 1\n"
+            "        a(k + 1) = 1.0\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, i;LOGICAL p",
+        )
+        rec = loop_record(src, "s", "i")
+        assert not rec.mod.for_array("a").is_exact()
+
+    def test_multiple_updates_go_omega(self):
+        src = sub(
+            "      k = 0\n"
+            "      DO i = 1, n\n"
+            "        k = k + 1\n"
+            "        a(k) = 1.0\n"
+            "        k = k + 1\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, i",
+        )
+        rec = loop_record(src, "s", "i")
+        assert not rec.mod.for_array("a").is_exact()
+
+    def test_non_additive_update_goes_omega(self):
+        src = sub(
+            "      k = 1\n"
+            "      DO i = 1, n\n"
+            "        k = k * 2\n"
+            "        a(k) = 1.0\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, i",
+        )
+        rec = loop_record(src, "s", "i")
+        assert not rec.mod.for_array("a").is_exact()
+
+    def test_varying_stride_goes_omega(self):
+        src = sub(
+            "      k = 0\n"
+            "      m = 1\n"
+            "      DO i = 1, n\n"
+            "        k = k + m\n"
+            "        m = m + 1\n"
+            "        a(k) = 1.0\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, m, i",
+        )
+        rec = loop_record(src, "s", "i")
+        assert not rec.mod.for_array("a").is_exact()
+
+
+class TestSoundnessRegression:
+    def test_false_privatization_fixed(self):
+        # the validator-found exploit: iteration i writes a(i+2) and reads
+        # a(i-2) through the induction variable — a real carried flow dep
+        src = sub(
+            "      k = 0\n"
+            "      DO i = 4, n\n"
+            "        k = k + 1\n"
+            "        a(k + 6) = 1.0 * i\n"
+            "        x = a(k + 2)\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, i;REAL x",
+        )
+        report = validate_loop(src, "s", "i", args={"a": [0.0] * 40, "n": 12})
+        assert report.ok, report.violations
+        verdicts = loop_verdicts(src)
+        assert verdicts[("s", "i")].status is LoopStatus.SERIAL
+
+    def test_induction_kernel_validates(self):
+        report = validate_loop(
+            IV_LOOP, "s", "i", args={"n": 6}, env={"n": 6, "k": 0}
+        )
+        assert report.ok, report.violations
+
+    def test_induction_work_loop_parallelizes(self):
+        # classic pointer-bump fill/consume: exact closed forms let the
+        # dependence tests prove independence across iterations
+        src = sub(
+            "      k = 0\n"
+            "      DO i = 1, n\n"
+            "        k = k + 2\n"
+            "        a(k) = 1.0\n"
+            "        a(k - 1) = 2.0\n"
+            "      ENDDO\n",
+            "REAL a(100);INTEGER k, n, i",
+        )
+        verdicts = loop_verdicts(src)
+        assert verdicts[("s", "i")].parallel

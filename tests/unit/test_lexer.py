@@ -1,0 +1,120 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.fortran import tokenize
+from repro.fortran.tokens import TokKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_names_and_ints(self):
+        assert kinds("abc 123") == [TokKind.NAME, TokKind.INT]
+
+    def test_underscore_names(self):
+        assert texts("my_var") == ["my_var"]
+
+    def test_operators(self):
+        assert kinds("( ) , : = + - * /") == [
+            TokKind.LPAREN, TokKind.RPAREN, TokKind.COMMA, TokKind.COLON,
+            TokKind.ASSIGN, TokKind.PLUS, TokKind.MINUS, TokKind.STAR,
+            TokKind.SLASH,
+        ]
+
+    def test_power_vs_star(self):
+        assert kinds("a ** b * c") == [
+            TokKind.NAME, TokKind.POWER, TokKind.NAME, TokKind.STAR,
+            TokKind.NAME,
+        ]
+
+    def test_concat(self):
+        assert kinds("a // b") == [TokKind.NAME, TokKind.CONCAT, TokKind.NAME]
+
+    def test_eof_token_present(self):
+        assert tokenize("x")[-1].kind is TokKind.EOF
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a ; b")
+
+
+class TestDottedOperators:
+    def test_relational(self):
+        assert kinds("a .eq. b .ne. c") == [
+            TokKind.NAME, TokKind.EQ, TokKind.NAME, TokKind.NE, TokKind.NAME,
+        ]
+
+    def test_logical(self):
+        assert kinds(".not. p .and. q .or. r") == [
+            TokKind.NOT, TokKind.NAME, TokKind.AND, TokKind.NAME,
+            TokKind.OR, TokKind.NAME,
+        ]
+
+    def test_logical_constants(self):
+        assert kinds(".true. .false.") == [TokKind.TRUE, TokKind.FALSE]
+
+    def test_int_dot_operator_disambiguation(self):
+        # "1.eq.2" must lex as INT EQ INT, not as reals
+        assert kinds("1.eq.2") == [TokKind.INT, TokKind.EQ, TokKind.INT]
+
+    def test_bare_dot_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a . b")
+
+
+class TestFreeFormRelops:
+    def test_two_char(self):
+        assert kinds("a == b /= c <= d >= e") == [
+            TokKind.NAME, TokKind.EQ, TokKind.NAME, TokKind.NE,
+            TokKind.NAME, TokKind.LE, TokKind.NAME, TokKind.GE, TokKind.NAME,
+        ]
+
+    def test_one_char(self):
+        assert kinds("a < b > c") == [
+            TokKind.NAME, TokKind.LT, TokKind.NAME, TokKind.GT, TokKind.NAME,
+        ]
+
+
+class TestNumbers:
+    def test_real_with_fraction(self):
+        toks = tokenize("1.5")
+        assert toks[0].kind is TokKind.REAL and toks[0].text == "1.5"
+
+    def test_real_trailing_dot(self):
+        assert tokenize("2.")[0].kind is TokKind.REAL
+
+    def test_real_leading_dot(self):
+        assert tokenize(".5")[0].kind is TokKind.REAL
+
+    def test_exponent_forms(self):
+        for text in ("1e5", "1.5e-3", "2d0", "1.0e+10"):
+            assert tokenize(text)[0].kind is TokKind.REAL, text
+
+    def test_int_then_name_exponentless(self):
+        toks = tokenize("1edge")
+        # '1e' not followed by digits: INT then NAME
+        assert [t.kind for t in toks][:2] == [TokKind.INT, TokKind.NAME]
+
+
+class TestStrings:
+    def test_single_quotes(self):
+        tok = tokenize("'hello'")[0]
+        assert tok.kind is TokKind.STRING and tok.text == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'don''t'")[0].text == "don't"
+
+    def test_double_quotes(self):
+        assert tokenize('"hi"')[0].text == "hi"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")

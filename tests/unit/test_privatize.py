@@ -1,0 +1,116 @@
+"""Unit tests for privatization (candidates, verdicts, copy-out)."""
+
+from repro.privatize import copy_out_needed, find_candidates, privatize_loop
+from repro.regions import GAR, GARList, Range, RegularRegion
+from repro.symbolic import Comparer, Predicate
+from tests.conftest import compile_source, loop_record
+
+
+def sub(body: str, decls: str = "REAL a(100)") -> str:
+    decl_lines = "".join(f"      {d}\n" for d in decls.split(";") if d)
+    return f"      SUBROUTINE s\n{decl_lines}{body}      END\n"
+
+
+WORK_LOOP = sub(
+    "      DO i = 1, n\n"
+    "        DO j = 1, m\n          t(j) = a(j)\n        ENDDO\n"
+    "        DO j = 1, m\n          a(j) = t(j) + 1.0\n        ENDDO\n"
+    "      ENDDO\n",
+    "REAL a(100), t(100)",
+)
+
+
+class TestCandidates:
+    def test_index_invariant_write_is_candidate(self):
+        rec = loop_record(WORK_LOOP, "s", "i")
+        table = None
+        hsg, analyzer = compile_source(WORK_LOOP)
+        table = hsg.analyzed.table("s")
+        names = {c.name for c in find_candidates(rec, table)}
+        assert "t" in names
+
+    def test_index_dependent_write_not_candidate(self):
+        src = sub("      DO i = 1, n\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        hsg, _ = compile_source(src)
+        names = {c.name for c in find_candidates(rec, hsg.analyzed.table("s"))}
+        assert "a" not in names
+
+    def test_loop_index_excluded(self):
+        rec = loop_record(WORK_LOOP, "s", "i")
+        hsg, _ = compile_source(WORK_LOOP)
+        names = {c.name for c in find_candidates(rec, hsg.analyzed.table("s"))}
+        assert "i" not in names
+
+    def test_array_vs_scalar_flag(self):
+        src = sub(
+            "      DO i = 1, n\n        x = a(i)\n        t(1) = x\n      ENDDO\n",
+            "REAL a(100), t(100);REAL x",
+        )
+        rec = loop_record(src, "s", "i")
+        hsg, _ = compile_source(src)
+        cands = {c.name: c for c in find_candidates(rec, hsg.analyzed.table("s"))}
+        assert cands["t"].is_array
+        assert not cands["x"].is_array
+
+
+class TestPrivatizability:
+    def test_work_array_privatizable(self):
+        rec = loop_record(WORK_LOOP, "s", "i")
+        hsg, analyzer = compile_source(WORK_LOOP)
+        result = privatize_loop(rec, hsg.analyzed.table("s"), analyzer.comparer)
+        assert "t" in result.privatizable_arrays()
+
+    def test_cross_iteration_value_flow_blocks(self):
+        src = sub(
+            "      DO i = 2, n\n"
+            "        x = t(1)\n        t(1) = x + a(i)\n      ENDDO\n",
+            "REAL a(100), t(100);REAL x",
+        )
+        rec = loop_record(src, "s", "i")
+        hsg, analyzer = compile_source(src)
+        result = privatize_loop(rec, hsg.analyzed.table("s"), analyzer.comparer)
+        verdict = result.verdict_for("t")
+        assert not verdict.privatizable
+        assert not verdict.conflict.is_empty()
+
+    def test_ue_empty_reason_reported(self):
+        rec = loop_record(WORK_LOOP, "s", "i")
+        hsg, analyzer = compile_source(WORK_LOOP)
+        result = privatize_loop(rec, hsg.analyzed.table("s"), analyzer.comparer)
+        verdict = result.verdict_for("t")
+        assert "UE_i" in verdict.reason
+
+    def test_scalar_privatization(self):
+        src = sub(
+            "      DO i = 1, n\n        x = a(i)\n        a(i) = x * 2.0\n"
+            "      ENDDO\n",
+            "REAL a(100);REAL x",
+        )
+        rec = loop_record(src, "s", "i")
+        hsg, analyzer = compile_source(src)
+        result = privatize_loop(rec, hsg.analyzed.table("s"), analyzer.comparer)
+        assert "x" in result.privatizable_scalars()
+
+
+class TestCopyOut:
+    def _lists(self, lo, hi):
+        return GARList.of(
+            GAR(Predicate.true(), RegularRegion("t", [Range(lo, hi)]))
+        )
+
+    def test_not_used_after(self, cmp):
+        decision = copy_out_needed("t", self._lists(1, 10), GARList.empty(), cmp)
+        assert not decision.needs_copy_out
+
+    def test_disjoint_later_use(self, cmp):
+        decision = copy_out_needed(
+            "t", self._lists(1, 10), self._lists(20, 30), cmp
+        )
+        assert not decision.needs_copy_out
+
+    def test_overlapping_later_use(self, cmp):
+        decision = copy_out_needed(
+            "t", self._lists(1, 10), self._lists(5, 30), cmp
+        )
+        assert decision.needs_copy_out

@@ -1,0 +1,233 @@
+"""Unit tests for range triples and their set operations (paper 5.1)."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.symbolic import Comparer, Env, Predicate, sym
+from repro.regions import (
+    Range,
+    range_covers,
+    range_difference,
+    range_intersect,
+    range_union,
+)
+
+
+def enum_pieces(pieces, env):
+    """Concrete element set of a guarded range list under env."""
+    out = set()
+    for pred, rng in pieces:
+        if pred.evaluate(env):
+            out |= set(rng.enumerate(env))
+    return out
+
+
+class TestRangeBasics:
+    def test_point(self):
+        r = Range.point(sym("i"))
+        assert r.is_point()
+        assert r.is_unit_step()
+
+    def test_enumerate(self):
+        assert Range(1, 5).enumerate({}) == [1, 2, 3, 4, 5]
+        assert Range(1, 9, 3).enumerate({}) == [1, 4, 7]
+        assert Range(5, 4).enumerate({}) == []
+
+    def test_enumerate_symbolic(self):
+        r = Range("a", sym("a") + 2)
+        assert r.enumerate(Env(a=10)) == [10, 11, 12]
+
+    def test_nonpositive_step_rejected(self):
+        with pytest.raises(RegionError):
+            Range(1, 10, 0)
+        with pytest.raises(RegionError):
+            Range(1, 10, -1)
+
+    def test_nonempty_pred(self):
+        p = Range("a", "b").nonempty_pred()
+        assert p == Predicate.le("a", "b")
+
+    def test_shifted(self):
+        assert Range(1, 5).shifted(2) == Range(3, 7)
+
+    def test_substitute(self):
+        r = Range("i", sym("i") + 1).substitute({"i": sym(4)})
+        assert r == Range(4, 5)
+
+    def test_str(self):
+        assert str(Range(1, 10)) == "1:10"
+        assert str(Range(1, 10, 2)) == "1:10:2"
+        assert str(Range.point(sym("j"))) == "j"
+
+
+class TestIntersect:
+    def test_concrete_overlap(self, cmp):
+        pieces = range_intersect(Range(1, 10), Range(5, 20), cmp)
+        assert enum_pieces(pieces, Env()) == set(range(5, 11))
+
+    def test_concrete_disjoint(self, cmp):
+        pieces = range_intersect(Range(1, 4), Range(6, 9), cmp)
+        assert enum_pieces(pieces, Env()) == set()
+
+    def test_symbolic_case_split(self, cmp):
+        # paper's example: (a:100) n (b:100)
+        pieces = range_intersect(Range("a", 100), Range("b", 100), cmp)
+        for env in (Env(a=3, b=7), Env(a=7, b=3), Env(a=5, b=5)):
+            expect = set(range(env["a"], 101)) & set(range(env["b"], 101))
+            assert enum_pieces(pieces, env) == expect
+
+    def test_context_prunes_cases(self):
+        c = Comparer(Predicate.le("a", "b"))
+        pieces = range_intersect(Range("a", 100), Range("b", 100), c)
+        assert len(pieces) == 1
+
+    def test_same_const_step_aligned(self, cmp):
+        pieces = range_intersect(Range(1, 20, 3), Range(7, 30, 3), cmp)
+        assert enum_pieces(pieces, Env()) == {7, 10, 13, 16, 19}
+
+    def test_same_const_step_misaligned_empty(self, cmp):
+        pieces = range_intersect(Range(1, 20, 2), Range(2, 20, 2), cmp)
+        assert pieces == []
+
+    def test_equal_symbolic_steps_same_lower(self, cmp):
+        pieces = range_intersect(Range("a", 50, "s"), Range("a", 80, "s"), cmp)
+        assert pieces is not None
+        for env in (Env(a=3, s=4), Env(a=1, s=7)):
+            expect = set(Range("a", 50, "s").enumerate(env)) & set(
+                Range("a", 80, "s").enumerate(env)
+            )
+            assert enum_pieces(pieces, env) == expect
+
+    def test_coarse_vs_fine_grid_covered(self, cmp):
+        # step 4 range inside a unit-step cover
+        pieces = range_intersect(Range(3, 19, 4), Range(1, 100), cmp)
+        assert enum_pieces(pieces, Env()) == {3, 7, 11, 15, 19}
+
+    def test_incompatible_steps_unknown(self, cmp):
+        assert range_intersect(Range(1, 20, 2), Range(1, 20, 3), cmp) is None
+
+    def test_empty_operand_yields_empty(self, cmp):
+        pieces = range_intersect(Range(5, 4), Range(1, 10), cmp)
+        assert enum_pieces(pieces, Env()) == set()
+
+
+class TestUnion:
+    def test_adjacent_merge(self, cmp):
+        # paper: (1:a) U (a+1:100) == (1:100)
+        merged = range_union(Range(1, "a"), Range(sym("a") + 1, 100), cmp)
+        assert merged == Range(1, 100)
+
+    def test_overlapping_merge(self, cmp):
+        assert range_union(Range(1, 10), Range(5, 20), cmp) == Range(1, 20)
+
+    def test_gap_no_merge(self, cmp):
+        assert range_union(Range(1, 4), Range(6, 10), cmp) is None
+
+    def test_identical(self, cmp):
+        r = Range("a", "b")
+        assert range_union(r, r, cmp) == r
+
+    def test_symbolic_unknown_gap(self, cmp):
+        assert range_union(Range(1, "a"), Range("b", 100), cmp) is None
+
+    def test_stepped_merge(self, cmp):
+        assert range_union(Range(1, 9, 2), Range(11, 15, 2), cmp) == Range(
+            1, 15, 2
+        )
+
+    def test_stepped_gap_no_merge(self, cmp):
+        assert range_union(Range(1, 9, 2), Range(13, 15, 2), cmp) is None
+
+    def test_contained_possibly_empty(self, cmp):
+        # r2 inside r1's bounds but possibly empty: union is r1
+        r1 = Range(1, 100)
+        r2 = Range("a", "b")
+        c = Comparer(Predicate.ge("a", 1) & Predicate.le("b", 100))
+        assert range_union(r1, r2, c) == r1
+
+
+class TestDifference:
+    def test_concrete_middle(self, cmp):
+        pieces = range_difference(Range(1, 10), Range(4, 6), cmp)
+        assert enum_pieces(pieces, Env()) == {1, 2, 3, 7, 8, 9, 10}
+
+    def test_concrete_prefix(self, cmp):
+        pieces = range_difference(Range(1, 10), Range(1, 6), cmp)
+        assert enum_pieces(pieces, Env()) == {7, 8, 9, 10}
+
+    def test_concrete_all(self, cmp):
+        pieces = range_difference(Range(1, 10), Range(1, 10), cmp)
+        assert enum_pieces(pieces, Env()) == set()
+
+    def test_paper_symbolic_example(self, cmp):
+        # (1:100) - (a:30) = [1<a](1:a-1) U (31:100), for a in range
+        pieces = range_difference(Range(1, 100), Range("a", 30), cmp)
+        for a in (1, 5, 30):
+            expect = set(range(1, 101)) - set(range(a, 31))
+            assert enum_pieces(pieces, Env(a=a)) == expect
+
+    def test_misaligned_grids_is_identity(self, cmp):
+        pieces = range_difference(Range(1, 20, 2), Range(2, 20, 2), cmp)
+        assert enum_pieces(pieces, Env()) == set(range(1, 21, 2))
+
+    def test_incompatible_steps_unknown(self, cmp):
+        assert range_difference(Range(1, 20, 2), Range(1, 20, 3), cmp) is None
+
+    def test_stepped_difference(self, cmp):
+        pieces = range_difference(Range(1, 21, 2), Range(7, 13, 2), cmp)
+        assert enum_pieces(pieces, Env()) == {1, 3, 5, 15, 17, 19, 21}
+
+
+class TestCovers:
+    def test_concrete(self, cmp):
+        assert range_covers(Range(1, 10), Range(3, 7), cmp)
+        assert not range_covers(Range(3, 7), Range(1, 10), cmp)
+
+    def test_symbolic_with_context(self):
+        c = Comparer(Predicate.ge("a", 1) & Predicate.le("b", "n"))
+        assert range_covers(Range(1, "n"), Range("a", "b"), c)
+
+    def test_unit_step_covers_stepped(self, cmp):
+        assert range_covers(Range(1, 100), Range(5, 50, 5), cmp)
+
+    def test_stepped_does_not_cover_unit(self, cmp):
+        assert not range_covers(Range(1, 100, 2), Range(1, 10), cmp)
+
+
+class TestDividingSteps:
+    """Paper 5.1 case 4: one constant step divides the other."""
+
+    def test_intersect_residue_match(self, cmp):
+        # (0:24:6) n (0:24:2): every element of the coarse range matches
+        pieces = range_intersect(Range(0, 24, 6), Range(0, 24, 2), cmp)
+        assert enum_pieces(pieces, Env()) == {0, 6, 12, 18, 24}
+
+    def test_intersect_residue_offset(self, cmp):
+        # (1:25:6) n (3:25:2): odd fine grid; coarse elements 1,7,13,19,25
+        pieces = range_intersect(Range(1, 25, 6), Range(3, 25, 2), cmp)
+        assert enum_pieces(pieces, Env()) == {7, 13, 19, 25}
+
+    def test_intersect_no_residue(self, cmp):
+        # (0:24:6) n (1:23:2): fine grid is odd, coarse even — disjoint
+        pieces = range_intersect(Range(0, 24, 6), Range(1, 23, 2), cmp)
+        assert enum_pieces(pieces, Env()) == set()
+
+    def test_intersect_swapped_order(self, cmp):
+        pieces = range_intersect(Range(0, 24, 2), Range(0, 24, 6), cmp)
+        assert enum_pieces(pieces, Env()) == {0, 6, 12, 18, 24}
+
+    def test_difference_coarse_minus_fine(self, cmp):
+        # (0:24:6) - (0:11:2) removes 0 and 6
+        pieces = range_difference(Range(0, 24, 6), Range(0, 11, 2), cmp)
+        assert enum_pieces(pieces, Env()) == {12, 18, 24}
+
+    def test_difference_no_overlap_residue(self, cmp):
+        pieces = range_difference(Range(0, 24, 6), Range(1, 23, 2), cmp)
+        assert enum_pieces(pieces, Env()) == {0, 6, 12, 18, 24}
+
+    def test_fine_minus_coarse_unknown(self, cmp):
+        # punching sparse holes is not representable: must give up
+        assert range_difference(Range(0, 24, 2), Range(0, 24, 6), cmp) is None
+
+    def test_symbolic_offset_unknown(self, cmp):
+        assert range_intersect(Range("a", 24, 6), Range(0, 24, 2), cmp) is None

@@ -1,0 +1,113 @@
+"""Unit tests for regular array regions (repro.regions.region)."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.symbolic import Env, Predicate, sym
+from repro.regions import OMEGA_DIM, Range, RegularRegion
+
+
+class TestConstruction:
+    def test_point(self):
+        r = RegularRegion.point("a", [sym("i"), sym("j")])
+        assert r.rank == 2
+        assert r.is_fully_known()
+
+    def test_omega(self):
+        r = RegularRegion.omega("a", 3)
+        assert r.is_omega()
+        assert not r.is_fully_known()
+        assert r.rank == 3
+
+    def test_omega_min_rank_one(self):
+        assert RegularRegion.omega("a", 0).rank == 1
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(RegionError):
+            RegularRegion("a", [])
+
+    def test_omega_dim_is_singleton(self):
+        from repro.regions.region import _OmegaDim
+
+        assert _OmegaDim() is OMEGA_DIM
+
+
+class TestStructure:
+    def test_nonempty_pred(self):
+        r = RegularRegion("a", [Range("l", "u"), Range(1, 5)])
+        p = r.nonempty_pred()
+        assert p == Predicate.le("l", "u")
+
+    def test_nonempty_pred_skips_omega(self):
+        r = RegularRegion("a", [OMEGA_DIM, Range("l", "u")])
+        assert r.nonempty_pred() == Predicate.le("l", "u")
+
+    def test_free_vars(self):
+        r = RegularRegion("a", [Range("l", sym("u") + sym("k"))])
+        assert r.free_vars() == frozenset({"l", "u", "k"})
+
+    def test_contains_var_and_dims_containing(self):
+        r = RegularRegion("a", [Range(1, "n"), Range("i", "i")])
+        assert r.contains_var("i")
+        assert r.dims_containing("i") == [1]
+        assert r.dims_containing("n") == [0]
+
+    def test_known_dims(self):
+        r = RegularRegion("a", [OMEGA_DIM, Range(1, 2)])
+        assert r.known_dims() == [(1, Range(1, 2))]
+
+
+class TestRewriting:
+    def test_with_dim(self):
+        r = RegularRegion("a", [Range(1, 5)])
+        r2 = r.with_dim(0, OMEGA_DIM)
+        assert not r2.is_fully_known()
+        assert r.is_fully_known()  # original untouched
+
+    def test_with_array(self):
+        r = RegularRegion("a", [Range(1, 5)]).with_array("b")
+        assert r.array == "b"
+
+    def test_substitute(self):
+        r = RegularRegion("a", [Range("i", sym("i") + 1)])
+        out = r.substitute({"i": sym(3)})
+        assert out == RegularRegion("a", [Range(3, 4)])
+
+    def test_rename(self):
+        r = RegularRegion("a", [Range("i", "n")]).rename({"i": "j"})
+        assert r == RegularRegion("a", [Range("j", "n")])
+
+
+class TestEnumerate:
+    def test_multi_dim(self):
+        r = RegularRegion("a", [Range(1, 2), Range(5, 6)])
+        assert r.enumerate(Env()) == {(1, 5), (1, 6), (2, 5), (2, 6)}
+
+    def test_empty_dim_empty_set(self):
+        r = RegularRegion("a", [Range(2, 1), Range(5, 6)])
+        assert r.enumerate(Env()) == set()
+
+    def test_omega_rejected(self):
+        r = RegularRegion.omega("a", 1)
+        with pytest.raises(RegionError):
+            r.enumerate(Env())
+
+    def test_symbolic(self):
+        r = RegularRegion("a", [Range("n", sym("n") + 1)])
+        assert r.enumerate(Env(n=4)) == {(4,), (5,)}
+
+
+class TestIdentity:
+    def test_eq_hash(self):
+        a = RegularRegion("a", [Range(1, 5)])
+        b = RegularRegion("a", [Range(1, 5)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_array_not_equal(self):
+        assert RegularRegion("a", [Range(1, 5)]) != RegularRegion(
+            "b", [Range(1, 5)]
+        )
+
+    def test_str(self):
+        r = RegularRegion("a", [Range(1, "n"), OMEGA_DIM])
+        assert str(r) == "a(1:n, *)"

@@ -1,0 +1,151 @@
+"""Unit tests for region set operations (paper section 3.1)."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.symbolic import Comparer, Env, Predicate, sym
+from repro.regions import (
+    OMEGA_DIM,
+    Range,
+    RegularRegion,
+    region_covers,
+    region_difference,
+    region_intersect,
+    region_union,
+)
+
+
+def box(*dims) -> RegularRegion:
+    return RegularRegion("a", [Range(lo, hi) for lo, hi in dims])
+
+
+def enum(gars, env):
+    out = set()
+    for g in gars:
+        out |= g.enumerate(env)
+    return out
+
+
+class TestIntersect:
+    def test_concrete_2d(self, cmp):
+        r1 = box((1, 10), (1, 10))
+        r2 = box((5, 20), (8, 9))
+        got = enum(region_intersect(r1, r2, cmp), Env())
+        assert got == {(i, j) for i in range(5, 11) for j in (8, 9)}
+
+    def test_disjoint_dim_empties_all(self, cmp):
+        r1 = box((1, 4), (1, 10))
+        r2 = box((6, 9), (1, 10))
+        assert region_intersect(r1, r2, cmp).is_empty()
+
+    def test_symbolic_cross_product_of_cases(self, cmp):
+        r1 = box((sym("a"), 10), (1, sym("b")))
+        r2 = box((1, 10), (1, 10))
+        gars = region_intersect(r1, r2, cmp)
+        for env in (Env(a=3, b=5), Env(a=0, b=20), Env(a=11, b=3)):
+            expect = r1.enumerate(env) & r2.enumerate(env)
+            assert enum(gars, env) == expect
+
+    def test_omega_dim_over_approximates(self, cmp):
+        r1 = RegularRegion("a", [OMEGA_DIM, Range(1, 5)])
+        r2 = box((1, 10), (3, 8))
+        gars = region_intersect(r1, r2, cmp)
+        assert all(not g.exact for g in gars)
+        # the known dimension still intersects
+        (g,) = gars.gars
+        assert g.region.dims[1] == Range(3, 5)
+        assert g.region.dims[0] == Range(1, 10)
+
+    def test_cross_array_rejected(self, cmp):
+        with pytest.raises(RegionError):
+            region_intersect(box((1, 2)), RegularRegion("b", [Range(1, 2)]), cmp)
+
+    def test_rank_mismatch_rejected(self, cmp):
+        with pytest.raises(RegionError):
+            region_intersect(box((1, 2)), box((1, 2), (1, 2)), cmp)
+
+
+class TestUnion:
+    def test_identical(self, cmp):
+        r = box((1, 5), (1, 5))
+        assert region_union(r, r, cmp) == r
+
+    def test_one_dim_merge(self, cmp):
+        r1 = box((1, 5), (1, 10))
+        r2 = box((6, 9), (1, 10))
+        assert region_union(r1, r2, cmp) == box((1, 9), (1, 10))
+
+    def test_two_dims_differ_no_merge(self, cmp):
+        r1 = box((1, 5), (1, 5))
+        r2 = box((6, 9), (6, 9))
+        assert region_union(r1, r2, cmp) is None
+
+    def test_containment(self, cmp):
+        r1 = box((1, 10), (1, 10))
+        r2 = box((2, 5), (3, 4))
+        assert region_union(r1, r2, cmp) == r1
+        assert region_union(r2, r1, cmp) == r1
+
+    def test_gap_no_merge(self, cmp):
+        assert region_union(box((1, 4)), box((6, 9)), cmp) is None
+
+
+class TestDifference:
+    def test_1d(self, cmp):
+        gars = region_difference(box((1, 10)), box((3, 5)), cmp)
+        assert enum(gars, Env()) == {(i,) for i in [1, 2, 6, 7, 8, 9, 10]}
+
+    def test_2d_paper_example(self, cmp):
+        # (1:100, 1:100) - (20:30, a:30)
+        r1 = box((1, 100), (1, 100))
+        r2 = box((20, 30), (sym("a"), 30))
+        gars = region_difference(r1, r2, cmp)
+        for a in (1, 15, 30):
+            env = Env(a=a)
+            assert enum(gars, env) == r1.enumerate(env) - r2.enumerate(env)
+
+    def test_2d_exact_disjoint_pieces(self, cmp):
+        r1 = box((1, 4), (1, 4))
+        r2 = box((2, 3), (2, 3))
+        gars = region_difference(r1, r2, cmp)
+        assert enum(gars, Env()) == r1.enumerate(Env()) - r2.enumerate(Env())
+
+    def test_subtrahend_outside(self, cmp):
+        gars = region_difference(box((1, 5)), box((7, 9)), cmp)
+        assert enum(gars, Env()) == box((1, 5)).enumerate(Env())
+
+    def test_3d(self, cmp):
+        r1 = box((1, 3), (1, 3), (1, 3))
+        r2 = box((2, 2), (1, 3), (2, 3))
+        gars = region_difference(r1, r2, cmp)
+        assert enum(gars, Env()) == r1.enumerate(Env()) - r2.enumerate(Env())
+
+    def test_omega_gives_none(self, cmp):
+        r1 = RegularRegion("a", [OMEGA_DIM])
+        assert region_difference(r1, box((1, 2)), cmp) is None
+        assert region_difference(box((1, 2)), r1, cmp) is None
+
+    def test_incompatible_steps_none(self, cmp):
+        r1 = RegularRegion("a", [Range(1, 20, 2)])
+        r2 = RegularRegion("a", [Range(1, 20, 3)])
+        assert region_difference(r1, r2, cmp) is None
+
+
+class TestCovers:
+    def test_concrete(self, cmp):
+        assert region_covers(box((1, 10), (1, 10)), box((2, 3), (4, 5)), cmp)
+        assert not region_covers(box((2, 3), (4, 5)), box((1, 10), (1, 10)), cmp)
+
+    def test_symbolic_context(self):
+        c = Comparer(Predicate.le(1, "a") & Predicate.le("b", "n"))
+        assert region_covers(box((1, sym("n"))), box((sym("a"), sym("b"))), c)
+
+    def test_omega_in_cover_fails_conservatively(self, cmp):
+        r1 = RegularRegion("a", [OMEGA_DIM])
+        assert not region_covers(r1, box((1, 2)), cmp)
+        assert not region_covers(box((1, 2)), r1, cmp)
+
+    def test_different_arrays(self, cmp):
+        assert not region_covers(
+            box((1, 10)), RegularRegion("b", [Range(1, 2)]), cmp
+        )

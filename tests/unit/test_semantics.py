@@ -1,0 +1,107 @@
+"""Unit tests for semantic analysis (symbol tables, reference resolution)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.fortran import Apply, Assign, analyze, parse_program
+
+
+def analyzed(source: str):
+    return analyze(parse_program(source))
+
+
+class TestArrayResolution:
+    def test_declared_array_is_array(self):
+        an = analyzed(
+            "      SUBROUTINE s\n      REAL a(10)\n      x = a(1)\n      END\n"
+        )
+        stmt = an.unit("s").body[0]
+        assert isinstance(stmt.value, Apply) and stmt.value.is_array
+
+    def test_intrinsic_is_not_array(self):
+        an = analyzed("      SUBROUTINE s\n      x = max(a, b)\n      END\n")
+        stmt = an.unit("s").body[0]
+        assert stmt.value.is_array is False
+
+    def test_program_function_is_call(self):
+        an = analyzed(
+            "      SUBROUTINE s\n      x = g(1)\n      END\n"
+            "      REAL FUNCTION g(k)\n      g = k\n      END\n"
+        )
+        stmt = an.unit("s").body[0]
+        assert stmt.value.is_array is False
+
+    def test_assignment_target_forces_array(self):
+        an = analyzed("      SUBROUTINE s\n      w(3) = 1\n      END\n")
+        assert an.table("s").is_array("w")
+
+    def test_assignment_to_function_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed(
+                "      SUBROUTINE s\n      g(3) = 1\n      END\n"
+                "      REAL FUNCTION g(k)\n      g = k\n      END\n"
+            )
+
+    def test_use_before_implicit_declaration(self):
+        # w used as value before the statement that makes it an array
+        an = analyzed(
+            "      SUBROUTINE s\n      x = w(1)\n      w(2) = 0\n      END\n"
+        )
+        stmt = an.unit("s").body[0]
+        assert stmt.value.is_array is True
+
+
+class TestSymbolTable:
+    def test_array_bounds(self):
+        an = analyzed(
+            "      SUBROUTINE s\n      REAL a(0:10, n)\n      a(0,1) = 1\n      END\n"
+        )
+        info = an.table("s").arrays["a"]
+        assert info.rank == 2
+
+    def test_implicit_typing(self):
+        an = analyzed("      SUBROUTINE s\n      x = i\n      END\n")
+        t = an.table("s")
+        assert t.type_of("i") == "integer"
+        assert t.type_of("n") == "integer"
+        assert t.type_of("x") == "real"
+
+    def test_declared_type_overrides_implicit(self):
+        an = analyzed(
+            "      SUBROUTINE s\n      REAL i\n      LOGICAL x\n      i = 1\n      END\n"
+        )
+        t = an.table("s")
+        assert t.type_of("i") == "real"
+        assert t.is_logical("x")
+
+    def test_parameter_constants(self):
+        an = analyzed(
+            "      SUBROUTINE s\n      PARAMETER (n = 5)\n      x = n\n      END\n"
+        )
+        assert "n" in an.table("s").parameters
+
+    def test_common_membership(self):
+        an = analyzed(
+            "      SUBROUTINE s\n      COMMON /blk/ a, b\n      a = 1\n      END\n"
+        )
+        t = an.table("s")
+        assert t.common_block_of("a") == "blk"
+        assert t.common_block_of("zz") is None
+
+    def test_common_array_declared(self):
+        an = analyzed(
+            "      SUBROUTINE s\n      COMMON /blk/ w(10)\n      w(1) = 1\n      END\n"
+        )
+        assert an.table("s").is_array("w")
+
+    def test_dummy_params(self):
+        an = analyzed("      SUBROUTINE s(a, b)\n      a = b\n      END\n")
+        t = an.table("s")
+        assert t.is_dummy("a") and not t.is_dummy("z")
+
+    def test_conflicting_array_ranks_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed(
+                "      SUBROUTINE s\n      REAL a(10)\n"
+                "      DIMENSION a(5, 5)\n      a(1) = 0\n      END\n"
+            )

@@ -1,0 +1,153 @@
+"""Unit tests for non-rectangular regions (paper section 5.3)."""
+
+import pytest
+
+from repro.regions import GARList, Range, RegularRegion
+from repro.regions.gar_ops import subtract_lists
+from repro.regions.shapes import (
+    band,
+    contains,
+    diagonal,
+    dim_symbol,
+    enumerate_shaped,
+    is_dim_symbol,
+    is_shaped,
+    shaped,
+    shaped_intersect_empty,
+    shaped_provably_empty,
+    triangle,
+)
+from repro.symbolic import Comparer, Env, Predicate
+
+
+class TestConstruction:
+    def test_dim_symbol(self):
+        assert dim_symbol(1) != dim_symbol(2)
+        assert is_dim_symbol("psi%1")
+        assert not is_dim_symbol("n")
+
+    def test_dim_symbol_one_based(self):
+        with pytest.raises(ValueError):
+            dim_symbol(0)
+
+    def test_shaped_gars_are_inexact(self):
+        assert not diagonal("a", 5).exact
+        assert not triangle("a", 5).exact
+
+    def test_is_shaped(self):
+        assert is_shaped(diagonal("a", 4))
+        from repro.regions import GAR
+
+        plain = GAR(Predicate.true(), RegularRegion("a", [Range(1, 4)]))
+        assert not is_shaped(plain)
+
+
+class TestSemantics:
+    def test_diagonal_enumeration(self):
+        d = diagonal("a", 3)
+        assert enumerate_shaped(d, Env()) == {(1, 1), (2, 2), (3, 3)}
+
+    def test_upper_triangle_enumeration(self):
+        t = triangle("a", 3, upper=True)
+        expect = {(i, j) for i in range(1, 4) for j in range(i, 4)}
+        assert enumerate_shaped(t, Env()) == expect
+
+    def test_lower_triangle_enumeration(self):
+        t = triangle("a", 3, upper=False)
+        expect = {(i, j) for i in range(1, 4) for j in range(1, i + 1)}
+        assert enumerate_shaped(t, Env()) == expect
+
+    def test_band_enumeration(self):
+        b = band("a", 4, 1)
+        expect = {
+            (i, j)
+            for i in range(1, 5)
+            for j in range(1, 5)
+            if abs(i - j) <= 1
+        }
+        assert enumerate_shaped(b, Env()) == expect
+
+    def test_symbolic_extent(self):
+        d = diagonal("a", "n")
+        assert enumerate_shaped(d, Env(n=2)) == {(1, 1), (2, 2)}
+
+    def test_contains(self):
+        t = triangle("a", 5)
+        assert contains(t, (2, 4), Env())
+        assert not contains(t, (4, 2), Env())
+        assert not contains(t, (6, 6), Env())
+
+
+class TestEmptiness:
+    def test_contradictory_shape_empty(self):
+        g = shaped(
+            Predicate.lt(dim_symbol(1), dim_symbol(2))
+            & Predicate.lt(dim_symbol(2), dim_symbol(1)),
+            RegularRegion("a", [Range(1, 5), Range(1, 5)]),
+        )
+        assert shaped_provably_empty(g)
+
+    def test_shape_outside_bounds_empty(self):
+        # psi1 >= 10 but the dimension only reaches 5
+        g = shaped(
+            Predicate.ge(dim_symbol(1), 10),
+            RegularRegion("a", [Range(1, 5), Range(1, 5)]),
+        )
+        assert shaped_provably_empty(g)
+
+    def test_nonempty_shape(self):
+        assert not shaped_provably_empty(diagonal("a", 5))
+
+
+class TestDisjointness:
+    def test_strict_triangles_disjoint(self):
+        upper = shaped(
+            Predicate.lt(dim_symbol(1), dim_symbol(2)),
+            RegularRegion("a", [Range(1, 5), Range(1, 5)]),
+        )
+        lower = shaped(
+            Predicate.gt(dim_symbol(1), dim_symbol(2)),
+            RegularRegion("a", [Range(1, 5), Range(1, 5)]),
+        )
+        assert shaped_intersect_empty(upper, lower)
+
+    def test_triangle_meets_diagonal(self):
+        assert not shaped_intersect_empty(triangle("a", 5), diagonal("a", 5))
+
+    def test_disjoint_rectangles(self):
+        a = shaped(
+            Predicate.true(), RegularRegion("a", [Range(1, 2), Range(1, 5)])
+        )
+        b = shaped(
+            Predicate.true(), RegularRegion("a", [Range(4, 6), Range(1, 5)])
+        )
+        assert shaped_intersect_empty(a, b)
+
+    def test_different_arrays_trivially_disjoint(self):
+        assert shaped_intersect_empty(diagonal("a", 3), diagonal("b", 3))
+
+    def test_off_diagonals_disjoint(self):
+        above = shaped(
+            Predicate.eq(dim_symbol(2), dim_symbol(1) + 1),
+            RegularRegion("a", [Range(1, 5), Range(1, 5)]),
+        )
+        below = shaped(
+            Predicate.eq(dim_symbol(2), dim_symbol(1) - 1),
+            RegularRegion("a", [Range(1, 5), Range(1, 5)]),
+        )
+        assert shaped_intersect_empty(above, below)
+
+
+class TestComposition:
+    def test_shaped_mod_never_kills(self, cmp):
+        """A shaped (inexact) MOD must not kill uses — rectangular
+        machinery safety when shapes flow through ordinary operations."""
+        from repro.regions import GAR
+
+        use = GAR(
+            Predicate.true(), RegularRegion("a", [Range(1, 3), Range(1, 3)])
+        )
+        out = subtract_lists(
+            GARList.of(use), GARList.of(triangle("a", 3)), cmp
+        )
+        assert out.enumerate(Env()) == use.enumerate(Env())

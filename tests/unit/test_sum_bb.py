@@ -1,0 +1,119 @@
+"""Unit tests for the basic-block transfer (SUM_bb)."""
+
+from repro.dataflow import SummaryAnalyzer
+from repro.fortran import analyze, parse_program
+from repro.hsg import build_hsg
+from repro.regions import GARList
+from repro.symbolic import Env
+
+
+def routine_summary(body: str, decls: str = "REAL a(100), b(100)"):
+    decl_lines = "".join(f"      {d}\n" for d in decls.split(";") if d)
+    src = f"      SUBROUTINE s\n{decl_lines}{body}      END\n"
+    hsg = build_hsg(analyze(parse_program(src)))
+    return SummaryAnalyzer(hsg).routine_summary("s")
+
+
+class TestArrayAccesses:
+    def test_write_is_mod(self):
+        s = routine_summary("      a(3) = 1.0\n")
+        assert s.mod.for_array("a").enumerate(Env()) == {(3,)}
+
+    def test_read_is_ue(self):
+        s = routine_summary("      x = a(3)\n")
+        assert s.ue.for_array("a").enumerate(Env()) == {(3,)}
+
+    def test_write_kills_later_read(self):
+        s = routine_summary("      a(3) = 1.0\n      x = a(3)\n")
+        assert s.ue.for_array("a").is_empty()
+
+    def test_write_does_not_kill_other_element(self):
+        s = routine_summary("      a(3) = 1.0\n      x = a(4)\n")
+        assert s.ue.for_array("a").enumerate(Env()) == {(4,)}
+
+    def test_read_before_write_exposed(self):
+        s = routine_summary("      x = a(3)\n      a(3) = 1.0\n")
+        assert s.ue.for_array("a").enumerate(Env()) == {(3,)}
+
+    def test_rhs_and_subscript_reads_collected(self):
+        s = routine_summary("      a(i) = b(j) + b(k)\n",
+                            "REAL a(100), b(100);INTEGER i, j, k")
+        ue_b = s.ue.for_array("b")
+        assert ue_b.enumerate(Env(i=1, j=2, k=5)) == {(2,), (5,)}
+        # the scalar subscripts are read too
+        assert not s.ue.for_array("i").is_empty()
+        assert not s.ue.for_array("j").is_empty()
+
+    def test_same_location_symbolic_subscript_kill(self):
+        s = routine_summary("      a(k) = 1.0\n      x = a(k)\n",
+                            "REAL a(100);INTEGER k")
+        assert s.ue.for_array("a").provably_empty()
+
+
+class TestScalars:
+    def test_scalar_write_and_read(self):
+        s = routine_summary("      v = 1\n      x = v\n", "INTEGER v, x")
+        assert s.ue.for_array("v").is_empty()
+        assert not s.mod.for_array("v").is_empty()
+
+    def test_scalar_read_before_write(self):
+        s = routine_summary("      x = v\n      v = 1\n", "INTEGER v, x")
+        assert not s.ue.for_array("v").is_empty()
+
+    def test_scalar_substitution_into_subscripts(self):
+        # k = j + 1; a(k) = ... must record a(j+1)
+        s = routine_summary("      k = j + 1\n      a(k) = 1.0\n",
+                            "REAL a(100);INTEGER k, j")
+        assert s.mod.for_array("a").enumerate(Env(j=4)) == {(5,)}
+
+    def test_scalar_chain_substitution(self):
+        s = routine_summary(
+            "      k = j + 1\n      m = k * 2\n      a(m) = 1.0\n",
+            "REAL a(100);INTEGER k, j, m",
+        )
+        assert s.mod.for_array("a").enumerate(Env(j=3)) == {(8,)}
+
+    def test_unconvertible_rhs_becomes_opaque_consistently(self):
+        # x = b(1); two later uses of x refer to the same unknown
+        s = routine_summary(
+            "      x = b(1)\n      a(x) = 1.0\n      y = a(x)\n",
+            "REAL b(100), a(100);INTEGER x, y",
+        )
+        # the write a(x') kills the read a(x') because both share the opaque
+        assert s.ue.for_array("a").provably_empty()
+
+    def test_redefinition_breaks_equality(self):
+        s = routine_summary(
+            "      x = b(1)\n      a(x) = 1.0\n      x = b(2)\n      y = a(x)\n",
+            "REAL b(100), a(100);INTEGER x, y",
+        )
+        assert not s.ue.for_array("a").provably_empty()
+
+
+class TestIoStatements:
+    def test_write_items_are_uses(self):
+        s = routine_summary("      WRITE (6, *) a(3)\n")
+        assert s.ue.for_array("a").enumerate(Env()) == {(3,)}
+
+    def test_read_array_element_is_inexact_mod(self):
+        s = routine_summary("      READ (5, *) a(3)\n")
+        mod_a = s.mod.for_array("a")
+        assert not mod_a.is_empty()
+        assert not mod_a.is_exact()
+
+    def test_read_scalar_makes_value_opaque(self):
+        s = routine_summary(
+            "      k = 1\n      READ (5, *) k\n      a(k) = 1.0\n",
+            "REAL a(100);INTEGER k",
+        )
+        # a's subscript must NOT have been substituted with 1
+        mod_a = s.mod.for_array("a")
+        assert all("@" in str(g.region) for g in mod_a)
+
+    def test_read_scalar_does_not_kill_exposed_use(self):
+        # READ writes k, so an earlier exposure is what counts; k's own
+        # storage is modified (exact kill of later uses)
+        s = routine_summary(
+            "      READ (5, *) k\n      x = k\n", "INTEGER k, x"
+        )
+        assert s.ue.for_array("k").is_empty()

@@ -1,0 +1,157 @@
+"""Unit tests for call summaries and formal→actual mapping (SUM_call)."""
+
+from repro.dataflow import AnalysisOptions, SummaryAnalyzer
+from repro.fortran import analyze, parse_program
+from repro.hsg import build_hsg
+from repro.symbolic import Env
+
+
+def summary_of(source: str, unit: str = "s", options=None):
+    hsg = build_hsg(analyze(parse_program(source)))
+    return SummaryAnalyzer(hsg, options).routine_summary(unit)
+
+
+FILL = (
+    "      SUBROUTINE fill(w, m)\n"
+    "      REAL w(100)\n"
+    "      INTEGER m, j\n"
+    "      DO j = 1, m\n"
+    "        w(j) = 1.0\n"
+    "      ENDDO\n"
+    "      END\n"
+)
+
+
+class TestArrayMapping:
+    def test_whole_array_actual_renamed(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n      INTEGER n\n"
+            "      n = 7\n      CALL fill(a, n)\n      END\n" + FILL
+        )
+        s = summary_of(src)
+        assert s.mod.for_array("a").enumerate(Env()) == {
+            (k,) for k in range(1, 8)
+        }
+        assert s.ue.for_array("w").is_empty()  # no callee names leak
+
+    def test_scalar_actual_value_substituted(self):
+        src = (
+            "      SUBROUTINE s(k)\n      REAL a(100)\n      INTEGER k\n"
+            "      CALL fill(a, k + 1)\n      END\n" + FILL
+        )
+        s = summary_of(src)
+        assert s.mod.for_array("a").enumerate(Env(k=3)) == {
+            (j,) for j in range(1, 5)
+        }
+
+    def test_callee_kill_visible_at_caller(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n      INTEGER n, j\n"
+            "      REAL x\n"
+            "      n = 5\n      CALL fill(a, n)\n"
+            "      DO j = 1, n\n        x = a(j)\n      ENDDO\n      END\n"
+            + FILL
+        )
+        s = summary_of(src)
+        assert s.ue.for_array("a").provably_empty()
+
+    def test_array_element_actual_degrades_to_omega(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n      INTEGER n\n"
+            "      n = 5\n      CALL fill(a(10), n)\n      END\n" + FILL
+        )
+        s = summary_of(src)
+        mod_a = s.mod.for_array("a")
+        assert not mod_a.is_empty()
+        assert not mod_a.is_exact()
+
+    def test_rank_mismatch_degrades_to_omega(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(10, 10)\n      INTEGER n\n"
+            "      n = 5\n      CALL fill(a, n)\n      END\n" + FILL
+        )
+        s = summary_of(src)
+        assert not s.mod.for_array("a").is_exact()
+
+
+class TestScalarEffects:
+    WRITER = (
+        "      SUBROUTINE setk(k)\n"
+        "      INTEGER k\n"
+        "      k = 42\n"
+        "      END\n"
+    )
+
+    def test_scalar_out_param_mod_mapped(self):
+        src = (
+            "      SUBROUTINE s\n      INTEGER v\n"
+            "      CALL setk(v)\n      x = v\n      END\n" + self.WRITER
+        )
+        s = summary_of(src)
+        assert not s.mod.for_array("v").is_empty()
+        assert s.ue.for_array("v").is_empty()  # killed by the call's write
+
+    def test_call_invalidates_scalar_value_below(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n      INTEGER v\n"
+            "      v = 1\n      CALL setk(v)\n      a(v) = 1.0\n      END\n"
+            + self.WRITER
+        )
+        s = summary_of(src)
+        # a's subscript must be the call's result, not 1
+        mod_a = s.mod.for_array("a")
+        assert all("@" in str(g.region) for g in mod_a)
+
+    def test_expression_actual_reads_components(self):
+        reader = (
+            "      SUBROUTINE use(k)\n      INTEGER k\n      m = k\n      END\n"
+        )
+        src = (
+            "      SUBROUTINE s\n      INTEGER v\n"
+            "      CALL use(v + 1)\n      END\n" + reader
+        )
+        s = summary_of(src)
+        assert not s.ue.for_array("v").is_empty()
+        # writing the formal has no caller-visible effect
+        assert s.mod.for_array("v").is_empty()
+
+
+class TestCommonsAndLocals:
+    def test_common_names_pass_through(self):
+        src = (
+            "      SUBROUTINE s\n      COMMON /blk/ w(50)\n      INTEGER n\n"
+            "      n = 3\n      CALL cfill(n)\n      END\n"
+            "      SUBROUTINE cfill(m)\n      COMMON /blk/ w(50)\n"
+            "      INTEGER m, j\n"
+            "      DO j = 1, m\n        w(j) = 1.0\n      ENDDO\n      END\n"
+        )
+        s = summary_of(src)
+        assert s.mod.for_array("w").enumerate(Env()) == {(1,), (2,), (3,)}
+
+    def test_callee_local_storage_dropped(self):
+        src = (
+            "      SUBROUTINE s\n      CALL worker\n      END\n"
+            "      SUBROUTINE worker\n      REAL t(10)\n      INTEGER j\n"
+            "      DO j = 1, 10\n        t(j) = 1.0\n      ENDDO\n      END\n"
+        )
+        s = summary_of(src)
+        assert s.mod.for_array("t").is_empty()
+
+
+class TestOpaqueCalls:
+    def test_external_call_is_omega(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n"
+            "      CALL extern(a)\n      END\n"
+        )
+        s = summary_of(src)
+        assert not s.mod.for_array("a").is_exact()
+        assert not s.ue.for_array("a").is_empty()
+
+    def test_t3_off_known_call_is_omega(self):
+        src = (
+            "      SUBROUTINE s\n      REAL a(100)\n      INTEGER n\n"
+            "      n = 5\n      CALL fill(a, n)\n      END\n" + FILL
+        )
+        s = summary_of(src, options=AnalysisOptions(interprocedural=False))
+        assert not s.mod.for_array("a").is_exact()

@@ -1,0 +1,116 @@
+"""Unit tests for loop summaries (SUM_loop) on small programs."""
+
+import pytest
+
+from repro.symbolic import Env
+from tests.conftest import loop_record
+
+
+def body(program_body: str, decls: str = "REAL a(100)"):
+    decl_lines = "".join(f"      {d}\n" for d in decls.split(";") if d)
+    return f"      SUBROUTINE s\n{decl_lines}{program_body}      END\n"
+
+
+class TestWholeLoopSets:
+    def test_simple_fill(self):
+        src = body("      DO i = 1, n\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert rec.mod.for_array("a").enumerate(Env(n=5)) == {
+            (k,) for k in range(1, 6)
+        }
+        assert rec.ue.for_array("a").is_empty()
+
+    def test_read_exposed(self):
+        src = body("      DO i = 1, n\n        x = a(i)\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert rec.ue.for_array("a").enumerate(Env(n=4)) == {
+            (k,) for k in range(1, 5)
+        }
+
+    def test_recurrence_ue(self):
+        # a(i) = a(i-1): reads a(0:n-1), writes a(1:n); exposed use is
+        # a(0) only (the rest comes from previous iterations)
+        src = body("      DO i = 1, n\n        a(i) = a(i-1)\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert rec.ue.for_array("a").enumerate(Env(n=5)) == {(0,)}
+
+    def test_mod_lt_prior_iterations(self):
+        src = body("      DO i = 1, n\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        got = rec.mod_lt.for_array("a").enumerate(Env(i=4, n=10))
+        assert got == {(1,), (2,), (3,)}
+
+    def test_mod_gt_later_iterations(self):
+        src = body("      DO i = 1, n\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        got = rec.mod_gt.for_array("a").enumerate(Env(i=4, n=6))
+        assert got == {(5,), (6,)}
+
+    def test_stepped_loop(self):
+        src = body("      DO i = 1, 9, 2\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert rec.mod.for_array("a").enumerate(Env()) == {
+            (1,), (3,), (5,), (7,), (9,)
+        }
+
+    def test_stepped_mod_lt_on_grid(self):
+        src = body("      DO i = 1, 9, 2\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert rec.mod_lt.for_array("a").enumerate(Env(i=7)) == {
+            (1,), (3,), (5,)
+        }
+
+    def test_loop_writes_its_index(self):
+        src = body("      DO i = 1, n\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert not rec.mod.for_array("i").is_empty()
+
+
+class TestIterationSets:
+    def test_work_array_pattern(self):
+        src = body(
+            "      DO i = 1, n\n"
+            "        DO j = 1, m\n          a(j) = 1.0\n        ENDDO\n"
+            "        DO j = 1, m\n          x = a(j)\n        ENDDO\n"
+            "      ENDDO\n"
+        )
+        rec = loop_record(src, "s", "i")
+        assert rec.ue_i.for_array("a").provably_empty()
+        assert rec.mod_i.for_array("a").enumerate(Env(m=3)) == {
+            (1,), (2,), (3,)
+        }
+
+    def test_partial_kill_leaves_residue(self):
+        src = body(
+            "      DO i = 1, n\n"
+            "        DO j = 2, m\n          a(j) = 1.0\n        ENDDO\n"
+            "        DO j = 1, m\n          x = a(j)\n        ENDDO\n"
+            "      ENDDO\n"
+        )
+        rec = loop_record(src, "s", "i")
+        assert rec.ue_i.for_array("a").enumerate(Env(m=4, i=1, n=3)) == {(1,)}
+
+
+class TestConservativeCases:
+    def test_premature_exit_mod_inexact(self):
+        src = body(
+            "      DO i = 1, n\n"
+            "        IF (p) GOTO 99\n        a(i) = 1.0\n      ENDDO\n"
+            " 99   CONTINUE\n",
+            "REAL a(100);LOGICAL p",
+        )
+        rec = loop_record(src, "s", "i")
+        assert rec.has_premature_exit
+        assert not rec.mod.is_exact()
+
+    def test_negative_step_set_still_covered(self):
+        src = body("      DO i = 10, 1, -1\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert rec.negative_step
+        got = rec.mod.for_array("a").enumerate(Env())
+        assert got >= {(k,) for k in range(1, 11)}
+
+    def test_negative_step_order_sets_inexact(self):
+        src = body("      DO i = 10, 1, -1\n        a(i) = 1.0\n      ENDDO\n")
+        rec = loop_record(src, "s", "i")
+        assert not rec.mod_lt.is_exact()

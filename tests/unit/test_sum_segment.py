@@ -1,0 +1,162 @@
+"""Unit tests for segment propagation (SUM_segment): IF-condition guards,
+branch merging, condensed cycles."""
+
+from repro.dataflow import AnalysisOptions, SummaryAnalyzer
+from repro.fortran import analyze, parse_program
+from repro.hsg import build_hsg
+from repro.symbolic import Env
+
+
+def summary_of(source: str, options=None, unit: str = "s"):
+    hsg = build_hsg(analyze(parse_program(source)))
+    return SummaryAnalyzer(hsg, options).routine_summary(unit)
+
+
+def sub(body: str, decls: str = "REAL a(100)") -> str:
+    decl_lines = "".join(f"      {d}\n" for d in decls.split(";") if d)
+    return f"      SUBROUTINE s\n{decl_lines}{body}      END\n"
+
+
+class TestBranchGuards:
+    def test_then_branch_guarded(self):
+        src = sub(
+            "      IF (p) THEN\n        a(1) = 1.0\n      ENDIF\n",
+            "REAL a(100);LOGICAL p",
+        )
+        s = summary_of(src)
+        mod_a = s.mod.for_array("a")
+        assert mod_a.enumerate(Env(p=1)) == {(1,)}
+        assert mod_a.enumerate(Env(p=0)) == set()
+
+    def test_else_branch_negated_guard(self):
+        src = sub(
+            "      IF (p) THEN\n        a(1) = 1.0\n"
+            "      ELSE\n        a(2) = 1.0\n      ENDIF\n",
+            "REAL a(100);LOGICAL p",
+        )
+        s = summary_of(src)
+        mod_a = s.mod.for_array("a")
+        assert mod_a.enumerate(Env(p=1)) == {(1,)}
+        assert mod_a.enumerate(Env(p=0)) == {(2,)}
+
+    def test_both_branches_write_use_killed(self):
+        src = sub(
+            "      IF (p) THEN\n        a(1) = 1.0\n"
+            "      ELSE\n        a(1) = 2.0\n      ENDIF\n"
+            "      x = a(1)\n",
+            "REAL a(100);LOGICAL p",
+        )
+        s = summary_of(src)
+        assert s.ue.for_array("a").provably_empty()
+
+    def test_one_branch_write_leaves_exposure(self):
+        src = sub(
+            "      IF (p) THEN\n        a(1) = 1.0\n      ENDIF\n"
+            "      x = a(1)\n",
+            "REAL a(100);LOGICAL p",
+        )
+        s = summary_of(src)
+        ue_a = s.ue.for_array("a")
+        assert ue_a.enumerate(Env(p=0)) == {(1,)}
+        assert ue_a.enumerate(Env(p=1)) == set()
+
+    def test_integer_condition_guard(self):
+        src = sub(
+            "      IF (k .GT. 0) THEN\n        a(1) = 1.0\n      ENDIF\n"
+            "      x = a(1)\n",
+            "REAL a(100);INTEGER k",
+        )
+        s = summary_of(src)
+        ue_a = s.ue.for_array("a")
+        assert ue_a.enumerate(Env(k=0)) == {(1,)}
+        assert ue_a.enumerate(Env(k=3)) == set()
+
+    def test_condition_reads_are_uses(self):
+        src = sub(
+            "      IF (b(2) .GT. 0.0) THEN\n        a(1) = 1.0\n      ENDIF\n",
+            "REAL a(100), b(100)",
+        )
+        s = summary_of(src)
+        assert s.ue.for_array("b").enumerate(Env()) == {(2,)}
+
+    def test_array_condition_guard_is_delta(self):
+        src = sub(
+            "      IF (b(2) .GT. 0.0) THEN\n        a(1) = 1.0\n      ENDIF\n"
+            "      x = a(1)\n",
+            "REAL a(100), b(100)",
+        )
+        s = summary_of(src)
+        # mod under Delta guard is inexact: the later use stays exposed
+        assert not s.mod.for_array("a").is_exact()
+        assert not s.ue.for_array("a").is_empty()
+
+    def test_t2_off_guards_are_delta(self):
+        src = sub(
+            "      IF (p) THEN\n        a(1) = 1.0\n      ENDIF\n",
+            "REAL a(100);LOGICAL p",
+        )
+        s = summary_of(src, AnalysisOptions(if_conditions=False))
+        assert not s.mod.for_array("a").is_exact()
+
+    def test_elseif_chain(self):
+        src = sub(
+            "      IF (k .EQ. 1) THEN\n        a(1) = 1.0\n"
+            "      ELSEIF (k .EQ. 2) THEN\n        a(2) = 1.0\n"
+            "      ELSE\n        a(3) = 1.0\n      ENDIF\n",
+            "REAL a(100);INTEGER k",
+        )
+        s = summary_of(src)
+        mod_a = s.mod.for_array("a")
+        assert mod_a.enumerate(Env(k=1)) == {(1,)}
+        assert mod_a.enumerate(Env(k=2)) == {(2,)}
+        assert mod_a.enumerate(Env(k=7)) == {(3,)}
+
+
+class TestControlFlowMerges:
+    def test_goto_skip_region(self):
+        src = sub(
+            "      IF (p) GOTO 10\n      a(1) = 1.0\n"
+            " 10   x = a(1)\n",
+            "REAL a(100);LOGICAL p",
+        )
+        s = summary_of(src)
+        ue_a = s.ue.for_array("a")
+        assert ue_a.enumerate(Env(p=1)) == {(1,)}
+        assert ue_a.enumerate(Env(p=0)) == set()
+
+    def test_return_path(self):
+        src = sub(
+            "      IF (p) RETURN\n      a(1) = 1.0\n",
+            "REAL a(100);LOGICAL p",
+        )
+        s = summary_of(src)
+        mod_a = s.mod.for_array("a")
+        assert mod_a.enumerate(Env(p=0)) == {(1,)}
+        assert mod_a.enumerate(Env(p=1)) == set()
+
+
+class TestCondensedCycles:
+    SRC = sub(
+        "      k = 1\n"
+        " 10   CONTINUE\n"
+        "      a(k) = 1.0\n"
+        "      k = k + 1\n"
+        "      IF (k .LE. n) GOTO 10\n"
+        "      x = a(1)\n",
+        "REAL a(100);INTEGER k, n",
+    )
+
+    def test_cycle_mod_is_omega(self):
+        s = summary_of(self.SRC)
+        mod_a = s.mod.for_array("a")
+        assert not mod_a.is_empty()
+        assert not mod_a.is_exact()
+
+    def test_cycle_does_not_kill(self):
+        s = summary_of(self.SRC)
+        # the use after the cycle must stay exposed (conservative)
+        assert not s.ue.for_array("a").is_empty()
+
+    def test_cycle_scalar_write_recorded(self):
+        s = summary_of(self.SRC)
+        assert not s.mod.for_array("k").is_empty()

@@ -1,0 +1,115 @@
+"""Unit tests for monomials (repro.symbolic.terms)."""
+
+import pytest
+
+from repro.symbolic.terms import Monomial
+
+
+class TestConstruction:
+    def test_unit_is_empty(self):
+        assert Monomial.unit().is_unit()
+        assert Monomial(()).is_unit()
+        assert Monomial.unit() == Monomial(())
+
+    def test_var(self):
+        m = Monomial.var("x")
+        assert m.factors == (("x", 1),)
+        assert not m.is_unit()
+
+    def test_var_power(self):
+        m = Monomial.var("x", 3)
+        assert m.power_of("x") == 3
+
+    def test_merges_repeated_factors(self):
+        m = Monomial((("x", 1), ("x", 2)))
+        assert m.power_of("x") == 3
+
+    def test_zero_power_dropped(self):
+        assert Monomial((("x", 0),)).is_unit()
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial((("x", -1),))
+
+    def test_factors_sorted(self):
+        m = Monomial((("z", 1), ("a", 1)))
+        assert [n for n, _ in m.factors] == ["a", "z"]
+
+
+class TestStructure:
+    def test_degree(self):
+        assert Monomial.unit().degree() == 0
+        assert Monomial.var("x").degree() == 1
+        assert Monomial((("x", 2), ("y", 1))).degree() == 3
+
+    def test_variables(self):
+        m = Monomial((("x", 1), ("y", 2)))
+        assert m.variables() == frozenset({"x", "y"})
+        assert Monomial.unit().variables() == frozenset()
+
+    def test_contains(self):
+        m = Monomial.var("x")
+        assert m.contains("x")
+        assert not m.contains("y")
+
+    def test_power_of_absent(self):
+        assert Monomial.var("x").power_of("y") == 0
+
+    def test_is_linear_var(self):
+        assert Monomial.var("x").is_linear_var()
+        assert not Monomial.var("x", 2).is_linear_var()
+        assert not Monomial((("x", 1), ("y", 1))).is_linear_var()
+        assert not Monomial.unit().is_linear_var()
+
+
+class TestAlgebra:
+    def test_mul(self):
+        p = Monomial.var("x") * Monomial.var("y")
+        assert p.variables() == frozenset({"x", "y"})
+        assert p.degree() == 2
+
+    def test_mul_same_var(self):
+        p = Monomial.var("x") * Monomial.var("x")
+        assert p.power_of("x") == 2
+
+    def test_mul_unit_identity(self):
+        m = Monomial.var("x", 2)
+        assert m * Monomial.unit() == m
+        assert Monomial.unit() * m == m
+
+    def test_divide_by_var(self):
+        m = Monomial((("x", 2), ("y", 1)))
+        assert m.divide_by_var("x") == Monomial((("x", 1), ("y", 1)))
+        assert m.divide_by_var("y") == Monomial.var("x", 2)
+
+    def test_divide_by_absent_var_raises(self):
+        with pytest.raises(KeyError):
+            Monomial.var("x").divide_by_var("y")
+
+
+class TestOrderingAndIdentity:
+    def test_equality_and_hash(self):
+        a = Monomial((("x", 1), ("y", 1)))
+        b = Monomial((("y", 1), ("x", 1)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ordering_by_degree(self):
+        assert Monomial.var("x") < Monomial.var("x", 2)
+
+    def test_unit_sorts_last(self):
+        assert Monomial.var("z") < Monomial.unit()
+
+    def test_lexicographic_within_degree(self):
+        assert Monomial.var("a") < Monomial.var("b")
+
+    def test_str(self):
+        assert str(Monomial.unit()) == "1"
+        assert str(Monomial.var("x")) == "x"
+        assert str(Monomial.var("x", 2)) == "x**2"
+        assert str(Monomial((("x", 1), ("y", 2)))) == "x*y**2"
+
+    def test_evaluate(self):
+        m = Monomial((("x", 2), ("y", 1)))
+        assert m.evaluate({"x": 3, "y": 5}) == 45
+        assert Monomial.unit().evaluate({}) == 1
