@@ -1,0 +1,121 @@
+"""Batch engine benchmark: warm-vs-cold cache and 1-vs-N-worker throughput.
+
+Extends the Figure 4 "analysis costs little" argument to the serving
+layer: the content-addressed summary cache should make a warm rerun of
+the five Perfect-benchmark programs substantially cheaper than a cold
+one (with bit-identical verdicts), and a multi-worker cold batch should
+beat the sequential one wherever the hardware actually has cores.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.driver.report import format_table
+from repro.engine import BatchEngine, items_from_kernel_registry
+
+from conftest import emit
+
+JOBS = 4
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(engine: BatchEngine, items):
+    t0 = time.perf_counter()
+    report = engine.run(items)
+    return (time.perf_counter() - t0) * 1000.0, report
+
+
+def _bench_rows():
+    items = items_from_kernel_registry()
+    cache_dir = tempfile.mkdtemp(prefix="panorama-bench-cache-")
+    try:
+        seq_ms, seq_report = _timed_run(BatchEngine(jobs=1), items)
+
+        par_dir = os.path.join(cache_dir, "par")
+        par_ms, par_report = _timed_run(
+            BatchEngine(cache_dir=par_dir, jobs=JOBS), items
+        )
+
+        warm_dir = os.path.join(cache_dir, "warm")
+        cold_ms, cold_report = _timed_run(
+            BatchEngine(cache_dir=warm_dir, jobs=1), items
+        )
+        warm_ms, warm_report = _timed_run(
+            BatchEngine(cache_dir=warm_dir, jobs=1), items
+        )
+
+        rows = [
+            ["sequential cold (no cache)", 1, f"{seq_ms:.0f}", 0, 0, "1.00x"],
+            [
+                f"pool cold ({JOBS} jobs)",
+                JOBS,
+                f"{par_ms:.0f}",
+                par_report.telemetry.cache.hits,
+                par_report.telemetry.cache.misses,
+                f"{seq_ms / max(par_ms, 1e-9):.2f}x",
+            ],
+            [
+                "sequential cold (fresh cache)",
+                1,
+                f"{cold_ms:.0f}",
+                cold_report.telemetry.cache.hits,
+                cold_report.telemetry.cache.misses,
+                f"{seq_ms / max(cold_ms, 1e-9):.2f}x",
+            ],
+            [
+                "sequential warm (reused cache)",
+                1,
+                f"{warm_ms:.0f}",
+                warm_report.telemetry.cache.hits,
+                warm_report.telemetry.cache.misses,
+                f"{seq_ms / max(warm_ms, 1e-9):.2f}x",
+            ],
+        ]
+        checks = {
+            "seq_ms": seq_ms,
+            "par_ms": par_ms,
+            "warm_ms": warm_ms,
+            "cold_ms": cold_ms,
+            "warm_hits": warm_report.telemetry.cache.hits,
+            "verdicts_identical": (
+                seq_report.verdict_rows() == warm_report.verdict_rows()
+                and seq_report.verdict_rows() == par_report.verdict_rows()
+            ),
+            "all_ok": seq_report.ok and par_report.ok
+            and cold_report.ok and warm_report.ok,
+        }
+        return rows, checks
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def test_engine_throughput(benchmark):
+    rows, checks = benchmark.pedantic(_bench_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["configuration", "jobs", "wall ms", "cache hits", "cache misses",
+         "speedup vs seq cold"],
+        rows,
+        title=(
+            "Batch engine: five Perfect programs, warm-vs-cold and "
+            f"1-vs-{JOBS} workers ({_cpus()} CPU(s) available)"
+        ),
+    )
+    emit("engine", table)
+    assert checks["all_ok"], table
+    assert checks["verdicts_identical"], table
+    assert checks["warm_hits"] > 0, table
+    # a warm cache must beat a cold sequential run outright
+    assert checks["warm_ms"] < checks["seq_ms"], table
+    # worker fan-out only wins where the hardware has cores to fan over
+    if _cpus() >= 2:
+        assert checks["par_ms"] < checks["seq_ms"], table

@@ -14,7 +14,7 @@ toggles of Table 1), the comparer, and the caches:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..fortran.ast_nodes import Expr
 from ..hsg.builder import HSG
@@ -26,6 +26,16 @@ from .convert import ConversionContext, to_predicate
 from .summary import Summary
 from .sum_loop import summarize_loop
 from .sum_segment import sum_segment
+
+#: stable identity of one loop summary across processes: the routine, the
+#: loop header (variable, source label, line), and the active enclosing
+#: indices — everything the record depends on besides the source text
+LoopKey = tuple[str, str, Optional[int], int, frozenset[str]]
+
+#: seam for injecting externally cached routine summaries (engine cache)
+SummaryProvider = Callable[[str], Optional[Summary]]
+#: seam for injecting externally cached per-loop summary records
+LoopRecordProvider = Callable[[LoopKey], Optional[LoopSummaryRecord]]
 
 
 class SummaryAnalyzer:
@@ -42,6 +52,12 @@ class SummaryAnalyzer:
         self._de_cache: dict[tuple[int, frozenset[str]], tuple] = {}
         self._routine_de_cache: dict[str, object] = {}
         self._in_progress: set[str] = set()
+        #: external caches consulted before computing (None → always compute)
+        self.summary_provider: Optional[SummaryProvider] = None
+        self.loop_record_provider: Optional[LoopRecordProvider] = None
+        #: routines/loops served by a provider rather than computed here
+        self.provided_summaries: set[str] = set()
+        self.provided_loop_records: set[LoopKey] = set()
 
     # -- contexts ------------------------------------------------------------------
 
@@ -61,6 +77,12 @@ class SummaryAnalyzer:
         cached = self._routine_cache.get(unit_name)
         if cached is not None:
             return cached
+        if self.summary_provider is not None:
+            provided = self.summary_provider(unit_name)
+            if provided is not None:
+                self._routine_cache[unit_name] = provided
+                self.provided_summaries.add(unit_name)
+                return provided
         if unit_name in self._in_progress:  # guarded by callgraph check too
             from ..errors import CallGraphError
 
@@ -81,6 +103,12 @@ class SummaryAnalyzer:
         """The cached LoopSummaryRecord of a loop in context."""
         key = (loop.node_id, ctx.active_indices)
         cached = self._loop_cache.get(key)
+        if cached is None and self.loop_record_provider is not None:
+            stable = self.loop_key(ctx.table.unit.name, loop, ctx.active_indices)
+            cached = self.loop_record_provider(stable)
+            if cached is not None:
+                self.provided_loop_records.add(stable)
+                self._loop_cache[key] = cached
         if cached is None:
             cached = summarize_loop(self, loop, ctx)
             self._loop_cache[key] = cached
@@ -139,7 +167,7 @@ class SummaryAnalyzer:
         within its containing flow subgraph (for copy-out analysis)."""
         graph = self._containing_graph(unit_name, loop)
         ctx = self.context_for(unit_name)
-        for idx in self._enclosing_indices(unit_name, loop):
+        for idx in self.enclosing_indices(unit_name, loop):
             ctx = ctx.with_index(idx)
         record: dict = {}
         self.sum_segment(graph, ctx, record_below=record)
@@ -168,12 +196,14 @@ class SummaryAnalyzer:
     ) -> LoopSummaryRecord:
         """Loop summary with the enclosing-context indices reconstructed."""
         ctx = self.context_for(unit_name)
-        for enclosing in self._enclosing_indices(unit_name, loop):
+        for enclosing in self.enclosing_indices(unit_name, loop):
             ctx = ctx.with_index(enclosing)
         return self.loop_summary(loop, ctx)
 
-    def _enclosing_indices(self, unit_name: str, loop: LoopNode) -> list[str]:
-        """Index variables of loops enclosing *loop* in its routine."""
+    def enclosing_indices(self, unit_name: str, loop: LoopNode) -> list[str]:
+        """Index variables of loops enclosing *loop* in its routine,
+        outermost first — the indices a conversion context must activate
+        before summarizing the loop."""
         out: list[str] = []
 
         def rec(graph: FlowGraph, stack: list[str]) -> Optional[list[str]]:
@@ -188,6 +218,40 @@ class SummaryAnalyzer:
 
         found = rec(self.hsg.graph(unit_name), [])
         return found if found is not None else out
+
+    # -- cache interchange (the engine's summary-provider seam) -----------------------
+
+    def loop_key(
+        self, unit_name: str, loop: LoopNode, active: frozenset[str]
+    ) -> LoopKey:
+        """Process-stable identity of one loop summary (unlike
+        ``node_id``, which depends on construction order)."""
+        return (unit_name, loop.var, loop.source_label, loop.lineno, active)
+
+    def export_routine_summaries(self) -> dict[str, Summary]:
+        """Snapshot of every routine summary computed (or provided) so far."""
+        return dict(self._routine_cache)
+
+    def export_loop_records(self) -> dict[LoopKey, LoopSummaryRecord]:
+        """Stable-keyed snapshot of every loop summary computed so far."""
+        by_id: dict[int, tuple[str, LoopNode]] = {}
+        for unit in self.hsg.analyzed.program.units:
+
+            def rec(graph: FlowGraph, unit_name: str) -> None:
+                for node in graph.nodes:
+                    if isinstance(node, LoopNode):
+                        by_id[node.node_id] = (unit_name, node)
+                        rec(node.body, unit_name)
+
+            rec(self.hsg.graph(unit.name), unit.name)
+        out: dict[LoopKey, LoopSummaryRecord] = {}
+        for (node_id, active), record in self._loop_cache.items():
+            located = by_id.get(node_id)
+            if located is None:
+                continue
+            unit_name, loop = located
+            out[self.loop_key(unit_name, loop, active)] = record
+        return out
 
 
 def analyze_program_summaries(

@@ -4,6 +4,7 @@ from .panorama import (
     CompilationResult,
     LoopReport,
     Panorama,
+    PipelineHooks,
     StageTimings,
 )
 from .report import format_table, yes_no
@@ -12,6 +13,7 @@ __all__ = [
     "CompilationResult",
     "LoopReport",
     "Panorama",
+    "PipelineHooks",
     "StageTimings",
     "format_table",
     "yes_no",

@@ -8,12 +8,13 @@ ablations.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from ..dataflow import AnalysisOptions
 from .panorama import Panorama
-from .report import format_table, yes_no
+from .report import format_stats, format_table, yes_no
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -57,7 +58,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         choices=["omp", "sgi"],
         help="print the program annotated with parallelization directives",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the per-loop verdicts as machine-readable JSON",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=_version_string(),
+    )
     return parser
+
+
+def _version_string() -> str:
+    from .. import __version__
+
+    return f"%(prog)s {__version__}"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,6 +93,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     panorama = Panorama(options, run_machine_model=not args.no_machine)
     result = panorama.compile(source)
+
+    if args.json:
+        # same serializer the batch engine ships results with
+        from ..engine.telemetry import result_to_dict
+
+        print(
+            json.dumps(
+                result_to_dict(result, name=Path(str(args.source)).name),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
 
     if args.dump_hsg:
         for unit in result.program.units:
@@ -106,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print()
     print(result.summary_line())
+    print(format_stats(result.analyzer.stats, result.timings))
 
     if args.summaries:
         for report in result.loops:

@@ -104,6 +104,22 @@ class CompilationResult:
         )
 
 
+class PipelineHooks:
+    """Extension seam for layers above the pipeline (the batch engine).
+
+    ``attach`` runs after the HSG and the analyzer exist but before any
+    loop is analyzed — the place to install cached summary providers.
+    ``finish`` runs after the verdicts (and machine model) are complete —
+    the place to harvest freshly computed summaries into a cache.
+    """
+
+    def attach(self, analyzer: SummaryAnalyzer, hsg: HSG) -> None:
+        """Called once per compile, before loop processing."""
+
+    def finish(self, result: "CompilationResult") -> None:
+        """Called once per compile, after the result is fully built."""
+
+
 class Panorama:
     """Facade: the prototyping parallelizing analyzer of the paper."""
 
@@ -114,12 +130,14 @@ class Panorama:
         machine: MachineModel | None = None,
         run_conventional: bool = True,
         run_machine_model: bool = True,
+        hooks: PipelineHooks | None = None,
     ) -> None:
         self.options = options or AnalysisOptions()
         self.sizes = dict(sizes or {})
         self.machine = machine or MachineModel()
         self.run_conventional = run_conventional
         self.run_machine_model = run_machine_model
+        self.hooks = hooks
 
     # -- pipeline -----------------------------------------------------------------
 
@@ -136,6 +154,8 @@ class Panorama:
         timings.frontend = time.perf_counter() - t0
 
         analyzer = SummaryAnalyzer(hsg, self.options)
+        if self.hooks is not None:
+            self.hooks.attach(analyzer, hsg)
         result = CompilationResult(program, analyzed, hsg, analyzer, timings=timings)
 
         for unit_name, loop in hsg.all_loops():
@@ -146,6 +166,8 @@ class Panorama:
             t0 = time.perf_counter()
             self._apply_machine_model(result)
             timings.machine = time.perf_counter() - t0
+        if self.hooks is not None:
+            self.hooks.finish(result)
         return result
 
     def _process_loop(
@@ -156,7 +178,7 @@ class Panorama:
         timings: StageTimings,
     ) -> LoopReport:
         ctx = analyzer.context_for(unit_name)
-        for idx in analyzer._enclosing_indices(unit_name, loop):
+        for idx in analyzer.enclosing_indices(unit_name, loop):
             ctx = ctx.with_index(idx)
         t0 = time.perf_counter()
         if self.run_conventional:

@@ -39,3 +39,22 @@ def yes_no(flag: bool) -> str:
 def fmt(value: float, digits: int = 1) -> str:
     """Format a float with fixed digits."""
     return f"{value:.{digits}f}"
+
+
+def format_stats(stats, timings=None) -> str:
+    """One-line rendering of the analyzer's cost counters.
+
+    *stats* is an :class:`~repro.dataflow.context.AnalysisStats`;
+    *timings* (optional) a :class:`~repro.driver.panorama.StageTimings`
+    whose dataflow share contextualizes the counters.
+    """
+    line = (
+        f"analysis cost: {stats.nodes_visited} HSG nodes visited, "
+        f"{stats.gar_ops} GAR ops, peak GAR list {stats.peak_gar_list}, "
+        f"{stats.routines_summarized} routine / "
+        f"{stats.loops_summarized} loop summaries"
+    )
+    if timings is not None and timings.total > 0:
+        share = timings.dataflow / timings.total * 100.0
+        line += f" ({share:.0f}% of time in dataflow)"
+    return line

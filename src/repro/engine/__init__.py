@@ -1,0 +1,68 @@
+"""The batch analysis engine: serving-layer machinery above the pipeline.
+
+The paper's Figure 4 argues the analysis "costs little beyond parsing";
+this package makes repeated and bulk analysis cheap in practice:
+
+* :mod:`repro.engine.cache` — content-addressed, two-tier (memory LRU +
+  on-disk pickle) cache of per-routine summaries, with callee-transitive
+  fingerprints for exact interprocedural invalidation;
+* :mod:`repro.engine.batch` — :class:`BatchEngine`, fanning many sources
+  over a process pool that shares the disk cache tier;
+* :mod:`repro.engine.incremental` — :class:`IncrementalEngine`,
+  re-summarizing only routines an edit (transitively) touched;
+* :mod:`repro.engine.telemetry` — counters, roll-ups, and the JSON
+  serializers shared with ``panorama --json``;
+* :mod:`repro.engine.cli` — the ``panorama-batch`` entry point.
+"""
+
+from .batch import (
+    BatchEngine,
+    BatchItem,
+    BatchItemResult,
+    BatchReport,
+    items_from_kernel_registry,
+    items_from_paths,
+)
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    CachingHooks,
+    RoutineCacheEntry,
+    SummaryCache,
+    fingerprint_program,
+    options_key,
+    unit_source_hash,
+)
+from .incremental import IncrementalEngine, IncrementalReport, IncrementalResult
+from .telemetry import (
+    EngineTelemetry,
+    analysis_stats_dict,
+    loop_report_row,
+    result_to_dict,
+    timings_dict,
+)
+
+__all__ = [
+    "BatchEngine",
+    "BatchItem",
+    "BatchItemResult",
+    "BatchReport",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "CachingHooks",
+    "EngineTelemetry",
+    "IncrementalEngine",
+    "IncrementalReport",
+    "IncrementalResult",
+    "RoutineCacheEntry",
+    "SummaryCache",
+    "analysis_stats_dict",
+    "fingerprint_program",
+    "items_from_kernel_registry",
+    "items_from_paths",
+    "loop_report_row",
+    "options_key",
+    "result_to_dict",
+    "timings_dict",
+    "unit_source_hash",
+]

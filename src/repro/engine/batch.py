@@ -1,0 +1,229 @@
+"""The batch analysis engine: fan many sources over worker processes.
+
+``BatchEngine`` amortizes analysis cost two ways at once:
+
+* **parallelism** — items fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (analysis is pure
+  CPU-bound Python, so processes, not threads);
+* **the summary cache** — every worker opens the same on-disk
+  :class:`~repro.engine.cache.SummaryCache` tier, so routines shared
+  between items (or re-analyzed across batch runs) are summarized once.
+
+Workers return *serialized* verdict rows (the same dicts ``panorama
+--json`` prints) plus their cache delta — the fingerprints they wrote to
+the shared disk tier — which the parent merges back into its own memory
+tier, so a follow-up in-process run is warm without touching disk.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..dataflow.context import AnalysisOptions
+from ..driver.panorama import Panorama
+from .cache import CacheStats, CachingHooks, SummaryCache
+from .telemetry import EngineTelemetry, result_to_dict
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One unit of batch work: a named Fortran source."""
+
+    name: str
+    source: str
+    #: problem-size bindings for the machine model (kernel registry)
+    sizes: Mapping[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "BatchItem":
+        p = Path(path)
+        return cls(name=p.name, source=p.read_text())
+
+
+def items_from_paths(paths: Iterable[str | Path]) -> list[BatchItem]:
+    """Batch items for a list of Fortran source files."""
+    return [BatchItem.from_path(p) for p in paths]
+
+
+def items_from_kernel_registry() -> list[BatchItem]:
+    """One batch item per distinct Perfect-benchmark program."""
+    from ..kernels import KERNELS
+
+    by_program: dict[str, BatchItem] = {}
+    for kernel in KERNELS:
+        if kernel.program not in by_program:
+            by_program[kernel.program] = BatchItem(
+                name=kernel.program, source=kernel.source, sizes=dict(kernel.sizes)
+            )
+    return list(by_program.values())
+
+
+@dataclass
+class BatchItemResult:
+    """What one item's analysis produced (or the error it died with)."""
+
+    name: str
+    payload: Optional[dict[str, Any]] = None  # result_to_dict output
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: cache delta: fingerprints this item wrote to the shared disk tier
+    stored_fingerprints: list[str] = field(default_factory=list)
+    reused_routines: list[str] = field(default_factory=list)
+    computed_routines: list[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def rows(self) -> list[dict[str, Any]]:
+        """The per-loop verdict rows (empty on error)."""
+        return list(self.payload.get("loops", [])) if self.payload else []
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced, in input order."""
+
+    results: list[BatchItemResult]
+    telemetry: EngineTelemetry
+
+    def result(self, name: str) -> BatchItemResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def verdict_rows(self) -> dict[str, list[dict[str, Any]]]:
+        """All verdict rows, keyed by item name."""
+        return {r.name: r.rows() for r in self.results}
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+# --------------------------------------------------------------------------- #
+# the worker body (top level: must be picklable by the process pool)
+# --------------------------------------------------------------------------- #
+
+
+def _analyze_item(
+    item: BatchItem,
+    options: AnalysisOptions,
+    cache_dir: Optional[str],
+    run_machine_model: bool,
+    cache: Optional[SummaryCache] = None,
+) -> BatchItemResult:
+    """Analyze one item with a cache-wired pipeline; never raises."""
+    try:
+        own_cache = cache if cache is not None else SummaryCache(cache_dir)
+        before = own_cache.stats.copy()
+        hooks = CachingHooks(own_cache)
+        panorama = Panorama(
+            options,
+            sizes=item.sizes,
+            run_machine_model=run_machine_model,
+            hooks=hooks,
+        )
+        result = panorama.compile(item.source)
+        return BatchItemResult(
+            name=item.name,
+            payload=result_to_dict(result, name=item.name),
+            cache_stats=own_cache.stats.delta(before),
+            stored_fingerprints=list(hooks.stored_fingerprints),
+            reused_routines=sorted(hooks.reused),
+            computed_routines=sorted(hooks.computed),
+        )
+    except Exception:
+        return BatchItemResult(name=item.name, error=traceback.format_exc())
+
+
+def _worker_main(args: tuple) -> BatchItemResult:
+    item, options, cache_dir, run_machine_model = args
+    return _analyze_item(item, options, cache_dir, run_machine_model)
+
+
+# --------------------------------------------------------------------------- #
+# the engine
+# --------------------------------------------------------------------------- #
+
+
+class BatchEngine:
+    """Analyze many Fortran sources with shared caching and N workers.
+
+    ``jobs=1`` runs in-process against the engine's own two-tier cache;
+    ``jobs>1`` fans items across a process pool whose workers share the
+    *disk* tier (``cache_dir``) and ship their cache deltas back.  With
+    ``jobs>1`` and no ``cache_dir`` each worker still caches privately
+    in memory, but nothing is shared — pass a directory to get the
+    amortization the engine exists for.
+    """
+
+    def __init__(
+        self,
+        options: AnalysisOptions | None = None,
+        cache_dir: str | Path | None = None,
+        jobs: int = 1,
+        run_machine_model: bool = True,
+        max_memory_entries: int = 512,
+    ) -> None:
+        self.options = options or AnalysisOptions()
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.jobs = max(1, jobs)
+        self.run_machine_model = run_machine_model
+        self.cache = SummaryCache(self.cache_dir, max_memory_entries)
+
+    def run(self, items: Sequence[BatchItem]) -> BatchReport:
+        """Analyze every item; results come back in input order."""
+        t0 = time.perf_counter()
+        if self.jobs == 1 or len(items) <= 1:
+            results = [
+                _analyze_item(
+                    item,
+                    self.options,
+                    self.cache_dir,
+                    self.run_machine_model,
+                    cache=self.cache,
+                )
+                for item in items
+            ]
+        else:
+            results = self._run_pool(items)
+        report = BatchReport(results=results, telemetry=EngineTelemetry())
+        tele = report.telemetry
+        tele.jobs = self.jobs
+        tele.wall_seconds = time.perf_counter() - t0
+        for res in results:
+            if res.ok and res.payload is not None:
+                tele.note_result(res.payload)
+            else:
+                tele.errors += 1
+            tele.note_cache(res.cache_stats)
+        return report
+
+    def run_paths(self, paths: Iterable[str | Path]) -> BatchReport:
+        """Convenience: analyze a list of source files."""
+        return self.run(items_from_paths(paths))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _run_pool(self, items: Sequence[BatchItem]) -> list[BatchItemResult]:
+        tasks = [
+            (item, self.options, self.cache_dir, self.run_machine_model)
+            for item in items
+        ]
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_worker_main, tasks))
+        # merge the workers' cache deltas into this process's memory tier
+        if self.cache_dir is not None:
+            delta: list[str] = []
+            for res in results:
+                delta.extend(res.stored_fingerprints)
+            self.cache.adopt(delta)
+        return results

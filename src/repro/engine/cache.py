@@ -1,0 +1,380 @@
+"""Content-addressed, two-tier cache of per-routine analysis summaries.
+
+The unit of caching is one *routine* (program unit): its interprocedural
+(MOD, UE) :class:`~repro.dataflow.summary.Summary` plus every per-loop
+:class:`~repro.dataflow.context.LoopSummaryRecord` computed inside it.
+
+Cache keys are **fingerprints**: a SHA-256 over
+
+* the routine's *normalized* source (the AST unparsed back to text, so
+  whitespace/comment/case differences do not defeat the cache),
+* the fingerprints of its transitive callees (the HSG call edges make
+  interprocedural invalidation exact — editing a callee changes every
+  transitive caller's fingerprint, and nothing else's),
+* the :class:`~repro.dataflow.context.AnalysisOptions` tuple (an ablation
+  run can never be served summaries computed with different techniques),
+* a format version (bumping it orphans old pickles instead of unpickling
+  incompatible layouts).
+
+Storage is two tiers: a bounded in-memory LRU dict in front of an
+on-disk directory of pickle files named by fingerprint.  The disk tier is
+safe to share between concurrent worker processes — entries are written
+via temp-file + atomic rename, and content addressing makes racing
+writers idempotent (both write identical bytes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..dataflow.analyzer import LoopKey
+from ..dataflow.context import AnalysisOptions, LoopSummaryRecord
+from ..dataflow.summary import Summary
+from ..fortran.ast_nodes import Program
+from ..fortran.callgraph import CallGraph
+from ..fortran.printers import unparse_unit
+
+#: bump when RoutineCacheEntry or the pickled analysis types change shape
+CACHE_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+
+
+def options_key(options: AnalysisOptions) -> str:
+    """Stable text form of the analysis options, for fingerprinting."""
+    forms = ";".join(
+        f"{name}={expr}" for name, expr in sorted(
+            options.index_array_forms, key=lambda p: p[0]
+        )
+    )
+    return (
+        f"T1={options.symbolic}|T2={options.if_conditions}"
+        f"|T3={options.interprocedural}|FM={options.use_fm}|IA={forms}"
+    )
+
+
+def unit_source_hash(program: Program, name: str) -> str:
+    """SHA-256 of one routine's normalized (unparsed) source alone."""
+    return hashlib.sha256(unparse_unit(program.unit(name)).encode()).hexdigest()
+
+
+def fingerprint_program(
+    program: Program, call_graph: CallGraph, options: AnalysisOptions
+) -> dict[str, str]:
+    """Per-routine fingerprints, callee-transitive (bottom-up order)."""
+    opts = options_key(options)
+    fps: dict[str, str] = {}
+    for name in call_graph.order:
+        h = hashlib.sha256()
+        h.update(f"panorama-summary-v{CACHE_FORMAT_VERSION}\n".encode())
+        h.update(opts.encode())
+        h.update(b"\n--unit--\n")
+        h.update(unit_source_hash(program, name).encode())
+        for callee in sorted(call_graph.calls(name)):
+            h.update(f"\n--callee {callee}--\n".encode())
+            h.update(fps[callee].encode())
+        fps[name] = h.hexdigest()
+    return fps
+
+
+# --------------------------------------------------------------------------- #
+# entries and statistics
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class RoutineCacheEntry:
+    """Everything cached for one routine under one fingerprint."""
+
+    fingerprint: str
+    routine: str
+    summary: Optional[Summary] = None
+    #: stable-keyed loop records (see SummaryAnalyzer.loop_key)
+    loop_records: dict[LoopKey, LoopSummaryRecord] = field(default_factory=dict)
+
+    def merge(self, other: "RoutineCacheEntry") -> "RoutineCacheEntry":
+        """Combine two entries for the same fingerprint (union of records)."""
+        if self.summary is None:
+            self.summary = other.summary
+        self.loop_records.update(other.loop_records)
+        return self
+
+
+@dataclass
+class CacheStats:
+    """Counters exported through the engine telemetry."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_errors: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.stores += other.stores
+        self.evictions += other.evictions
+        self.disk_errors += other.disk_errors
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(**self.as_dict())
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated after the *since* snapshot (per-item
+        attribution when several items share one cache instance)."""
+        ours = self.as_dict()
+        return CacheStats(
+            **{key: ours[key] - value for key, value in since.as_dict().items()}
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "disk_errors": self.disk_errors,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# the two-tier store
+# --------------------------------------------------------------------------- #
+
+
+class SummaryCache:
+    """In-memory LRU over an optional on-disk pickle directory.
+
+    With ``cache_dir=None`` the cache is memory-only (useful for tests
+    and single-process warm reruns).  Disk entries are sharded by the
+    first two fingerprint characters: ``<dir>/ab/abcdef….pkl``.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike[str] | None = None,
+        max_memory_entries: int = 512,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_memory_entries = max(1, max_memory_entries)
+        self._memory: OrderedDict[str, RoutineCacheEntry] = OrderedDict()
+        self.stats = CacheStats()
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[RoutineCacheEntry]:
+        """The cached entry, consulting memory then disk; None on miss."""
+        entry = self._memory.get(fingerprint)
+        if entry is not None:
+            self._memory.move_to_end(fingerprint)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return entry
+        entry = self._load_from_disk(fingerprint)
+        if entry is not None:
+            self._remember(fingerprint, entry)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        if fingerprint in self._memory:
+            return True
+        path = self._path(fingerprint)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- store --------------------------------------------------------------------
+
+    def put(self, entry: RoutineCacheEntry) -> None:
+        """Store an entry under its fingerprint (memory + disk)."""
+        existing = self._memory.get(entry.fingerprint)
+        if existing is not None:
+            entry = existing.merge(entry)
+        self._remember(entry.fingerprint, entry)
+        self.stats.stores += 1
+        self._write_to_disk(entry)
+
+    def adopt(self, fingerprints: Iterable[str]) -> int:
+        """Prime the memory tier with entries another process wrote to the
+        shared disk tier (the batch engine's cache-delta merge).  Returns
+        the number of entries actually loaded."""
+        loaded = 0
+        for fp in fingerprints:
+            if fp in self._memory:
+                continue
+            entry = self._load_from_disk(fp)
+            if entry is not None:
+                self._remember(fp, entry)
+                loaded += 1
+        return loaded
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (disk entries survive)."""
+        self._memory.clear()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _remember(self, fingerprint: str, entry: RoutineCacheEntry) -> None:
+        self._memory[fingerprint] = entry
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _path(self, fingerprint: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def _load_from_disk(self, fingerprint: str) -> Optional[RoutineCacheEntry]:
+        path = self._path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                version, entry = pickle.load(fh)
+        except Exception:
+            # a corrupt/foreign file is a miss, never a crash
+            self.stats.disk_errors += 1
+            return None
+        if version != CACHE_FORMAT_VERSION or not isinstance(
+            entry, RoutineCacheEntry
+        ):
+            self.stats.disk_errors += 1
+            return None
+        return entry
+
+    def _write_to_disk(self, entry: RoutineCacheEntry) -> None:
+        path = self._path(entry.fingerprint)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=entry.fingerprint[:8], suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump((CACHE_FORMAT_VERSION, entry), fh)
+                os.replace(tmp, path)  # atomic on POSIX: racing writers agree
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            self.stats.disk_errors += 1
+
+
+# --------------------------------------------------------------------------- #
+# pipeline binding
+# --------------------------------------------------------------------------- #
+
+
+class CachingHooks:
+    """:class:`~repro.driver.panorama.PipelineHooks` implementation that
+    serves cached summaries into the analyzer and harvests fresh ones.
+
+    One instance covers one ``Panorama.compile`` call; after ``finish``
+    the instance exposes what happened (``fingerprints``, ``reused``,
+    ``computed``, ``stored_fingerprints``) for telemetry and the batch
+    engine's cache-delta merge.
+    """
+
+    def __init__(self, cache: SummaryCache) -> None:
+        self.cache = cache
+        self.fingerprints: dict[str, str] = {}
+        #: call edges of the compiled program (for incremental diffing)
+        self.callees: dict[str, frozenset[str]] = {}
+        #: per-routine normalized-source hashes, callee-independent
+        self.unit_hashes: dict[str, str] = {}
+        #: routines served (at least partly) from the cache
+        self.reused: set[str] = set()
+        #: routines whose summaries had to be computed this run
+        self.computed: set[str] = set()
+        #: fingerprints written to the cache by this compile (the delta)
+        self.stored_fingerprints: list[str] = []
+
+    # PipelineHooks interface ------------------------------------------------------
+
+    def attach(self, analyzer, hsg) -> None:
+        self.fingerprints = fingerprint_program(
+            hsg.analyzed.program, hsg.call_graph, analyzer.options
+        )
+        self.callees = {
+            name: hsg.call_graph.calls(name) for name in self.fingerprints
+        }
+        self.unit_hashes = {
+            name: unit_source_hash(hsg.analyzed.program, name)
+            for name in self.fingerprints
+        }
+        entries: dict[str, RoutineCacheEntry] = {}
+        for routine, fp in self.fingerprints.items():
+            entry = self.cache.get(fp)
+            if entry is not None:
+                entries[routine] = entry
+        self._entries = entries
+        self.reused = set(entries)
+
+        def summary_provider(unit_name: str):
+            entry = entries.get(unit_name)
+            return entry.summary if entry is not None else None
+
+        def loop_record_provider(key):
+            entry = entries.get(key[0])
+            return entry.loop_records.get(key) if entry is not None else None
+
+        analyzer.summary_provider = summary_provider
+        analyzer.loop_record_provider = loop_record_provider
+
+    def finish(self, result) -> None:
+        analyzer = result.analyzer
+        summaries = analyzer.export_routine_summaries()
+        by_routine: dict[str, dict] = {}
+        for key, record in analyzer.export_loop_records().items():
+            by_routine.setdefault(key[0], {})[key] = record
+        for routine, fp in self.fingerprints.items():
+            new_records = {
+                key: record
+                for key, record in by_routine.get(routine, {}).items()
+                if key not in analyzer.provided_loop_records
+            }
+            summary = summaries.get(routine)
+            fresh_summary = (
+                summary is not None
+                and routine not in analyzer.provided_summaries
+            )
+            if not new_records and not fresh_summary:
+                continue  # everything this compile knows came from the cache
+            self.computed.add(routine)
+            self.cache.put(
+                RoutineCacheEntry(
+                    fingerprint=fp,
+                    routine=routine,
+                    summary=summary,
+                    loop_records=dict(by_routine.get(routine, {})),
+                )
+            )
+            self.stored_fingerprints.append(fp)

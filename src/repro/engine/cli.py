@@ -1,0 +1,164 @@
+"""``panorama-batch``: bulk analysis with workers and a persistent cache.
+
+Examples::
+
+    panorama-batch a.f b.f c.f --jobs 4 --cache-dir ~/.panorama-cache
+    panorama-batch --kernels --jobs 4 --stats-json stats.json
+    panorama-batch --kernels --json          # full machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .. import __version__
+from ..dataflow import AnalysisOptions
+from ..driver.report import format_table, yes_no
+from .batch import BatchEngine, items_from_kernel_registry, items_from_paths
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The panorama-batch CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="panorama-batch",
+        description=(
+            "Batch front end to the Panorama analyzer: fan Fortran sources "
+            "across worker processes with a persistent, content-addressed "
+            "summary cache."
+        ),
+    )
+    parser.add_argument(
+        "sources", nargs="*", help="Fortran source files to analyze"
+    )
+    parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="also analyze the built-in Perfect-benchmark kernel suite",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="persistent summary cache directory (shared by workers)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write aggregated telemetry (timings, stats, cache counters)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit all results as JSON on stdout instead of tables",
+    )
+    parser.add_argument(
+        "--ablate",
+        choices=["T1", "T2", "T3"],
+        action="append",
+        default=[],
+        help="disable a technique (repeatable): T1 symbolic, "
+        "T2 IF conditions, T3 interprocedural",
+    )
+    parser.add_argument(
+        "--no-fm",
+        action="store_true",
+        help="disable the Fourier-Motzkin fallback prover",
+    )
+    parser.add_argument(
+        "--no-machine",
+        action="store_true",
+        help="skip cost/speedup estimation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_arg_parser().parse_args(argv)
+    try:
+        items = items_from_paths(args.sources)
+    except OSError as exc:
+        print(f"panorama-batch: cannot read source: {exc}", file=sys.stderr)
+        return 2
+    if args.kernels:
+        items.extend(items_from_kernel_registry())
+    if not items:
+        print("panorama-batch: no sources (pass files or --kernels)",
+              file=sys.stderr)
+        return 2
+
+    options = AnalysisOptions(
+        symbolic="T1" not in args.ablate,
+        if_conditions="T2" not in args.ablate,
+        interprocedural="T3" not in args.ablate,
+        use_fm=not args.no_fm,
+    )
+    engine = BatchEngine(
+        options,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        run_machine_model=not args.no_machine,
+    )
+    report = engine.run(items)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "results": [
+                        res.payload if res.ok else {"name": res.name,
+                                                    "error": res.error}
+                        for res in report.results
+                    ],
+                    "telemetry": report.telemetry.as_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for res in report.results:
+            if not res.ok:
+                print(f"--- {res.name}: ERROR ---\n{res.error}",
+                      file=sys.stderr)
+                continue
+            rows = [
+                [
+                    row["loop"],
+                    row["var"],
+                    row["status"],
+                    yes_no(row["used_dataflow"]),
+                    ", ".join(row["privatized"]),
+                    f"{row['speedup']:.1f}x" if row["parallel"] else "-",
+                ]
+                for row in res.rows()
+            ]
+            print(
+                format_table(
+                    ["loop", "index", "status", "dataflow", "privatized",
+                     "est. speedup"],
+                    rows,
+                    title=f"Panorama verdicts ({res.name})",
+                )
+            )
+            print()
+        print(report.telemetry.summary_line())
+
+    if args.stats_json:
+        report.telemetry.write_json(args.stats_json)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

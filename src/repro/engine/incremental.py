@@ -1,0 +1,127 @@
+"""Incremental re-analysis: re-summarize only what an edit touched.
+
+Because cache keys are content-addressed *and* callee-transitive
+(:func:`~repro.engine.cache.fingerprint_program`), invalidation is not a
+separate mechanism: editing a routine changes its fingerprint and the
+fingerprint of every transitive caller, so exactly those routines miss
+the cache on the next run while everything else is served warm.
+
+:class:`IncrementalEngine` adds the bookkeeping on top — it remembers
+the fingerprints of the previous revision of each named source, so each
+``analyze`` call can report *which* routines changed, which were
+invalidated through a callee, and which were reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..dataflow.context import AnalysisOptions
+from ..driver.panorama import CompilationResult, Panorama
+from .cache import CachingHooks, SummaryCache
+
+
+@dataclass
+class IncrementalReport:
+    """What one re-analysis actually had to do."""
+
+    name: str
+    #: routines whose own normalized source changed since last revision
+    changed: list[str] = field(default_factory=list)
+    #: routines invalidated only through a (transitive) callee change
+    invalidated: list[str] = field(default_factory=list)
+    #: routines served from the summary cache
+    reused: list[str] = field(default_factory=list)
+    #: routines whose summaries were (re)computed this run
+    computed: list[str] = field(default_factory=list)
+    #: fingerprints by routine, the new revision
+    fingerprints: dict[str, str] = field(default_factory=dict)
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.name}: {len(self.changed)} changed, "
+            f"{len(self.invalidated)} invalidated via callees, "
+            f"{len(self.reused)} reused from cache"
+        )
+
+
+@dataclass
+class IncrementalResult:
+    """The full pipeline result plus the incremental bookkeeping."""
+
+    result: CompilationResult
+    report: IncrementalReport
+
+
+class IncrementalEngine:
+    """Re-analyze evolving sources against a persistent summary cache."""
+
+    def __init__(
+        self,
+        options: AnalysisOptions | None = None,
+        cache: SummaryCache | None = None,
+        cache_dir=None,
+        run_machine_model: bool = True,
+    ) -> None:
+        self.options = options or AnalysisOptions()
+        self.cache = cache if cache is not None else SummaryCache(cache_dir)
+        self.run_machine_model = run_machine_model
+        #: previous revision fingerprints, keyed by source name
+        self._previous: dict[str, dict[str, str]] = {}
+
+    def analyze(
+        self,
+        source: str,
+        name: str = "<source>",
+        sizes: Mapping[str, int] | None = None,
+    ) -> IncrementalResult:
+        """Analyze one (possibly edited) source, reusing cached summaries."""
+        hooks = CachingHooks(self.cache)
+        panorama = Panorama(
+            self.options,
+            sizes=sizes,
+            run_machine_model=self.run_machine_model,
+            hooks=hooks,
+        )
+        result = panorama.compile(source)
+        report = self._diff_report(name, hooks)
+        self._previous[name] = dict(hooks.unit_hashes)
+        return IncrementalResult(result=result, report=report)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _diff_report(self, name: str, hooks: CachingHooks) -> IncrementalReport:
+        previous = self._previous.get(name, {})
+        report = IncrementalReport(
+            name=name,
+            reused=sorted(hooks.reused),
+            computed=sorted(hooks.computed),
+            fingerprints=dict(hooks.fingerprints),
+        )
+        if not previous:
+            # first revision: everything is "changed" by definition
+            report.changed = sorted(hooks.fingerprints)
+            return report
+        own_changed = {
+            routine
+            for routine, h in hooks.unit_hashes.items()
+            if previous.get(routine) != h
+        }
+        # propagate to transitive callers: those summaries are stale even
+        # though their own source is untouched (the callee-transitive
+        # fingerprint already made them cache misses)
+        invalidated: set[str] = set()
+        frontier = set(own_changed)
+        while frontier:
+            nxt: set[str] = set()
+            for routine, callees in hooks.callees.items():
+                if routine in own_changed or routine in invalidated:
+                    continue
+                if callees & frontier:
+                    nxt.add(routine)
+            invalidated |= nxt
+            frontier = nxt
+        report.changed = sorted(own_changed)
+        report.invalidated = sorted(invalidated)
+        return report

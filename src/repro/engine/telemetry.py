@@ -1,0 +1,183 @@
+"""Structured counters and the JSON serializers shared by the CLIs.
+
+Two jobs:
+
+* serialize pipeline results — :func:`loop_report_row` /
+  :func:`result_to_dict` are the *single* machine-readable form of a
+  verdict, used by ``panorama --json``, by ``panorama-batch``, and by
+  the batch workers to ship results across process boundaries (dicts of
+  primitives travel cheaply and diff cleanly, unlike pickled ASTs);
+* roll analysis cost up — :class:`EngineTelemetry` aggregates per-file
+  :class:`~repro.driver.panorama.StageTimings`,
+  :class:`~repro.dataflow.context.AnalysisStats`, and
+  :class:`~repro.engine.cache.CacheStats` into the ``--stats-json``
+  export (the Figure 4 "analysis costs little" claim, at batch scale).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..dataflow.context import AnalysisStats
+from ..driver.panorama import CompilationResult, LoopReport, StageTimings
+from .cache import CacheStats
+
+
+# --------------------------------------------------------------------------- #
+# serializers (shared by `panorama --json` and the batch engine)
+# --------------------------------------------------------------------------- #
+
+
+def loop_report_row(report: LoopReport) -> dict[str, Any]:
+    """One loop verdict as a flat JSON-ready dict."""
+    verdict = report.verdict
+    row: dict[str, Any] = {
+        "loop": report.loop_id(),
+        "routine": report.routine,
+        "var": report.var,
+        "label": report.source_label,
+        "lineno": report.lineno,
+        "status": report.status.value,
+        "parallel": report.parallel,
+        "used_dataflow": report.used_dataflow,
+        "screen": report.screen.verdict.value,
+        "privatized": list(verdict.privatized) if verdict else [],
+        "reductions": list(verdict.reductions) if verdict else [],
+        "inductions": list(verdict.inductions) if verdict else [],
+        "serial_reasons": list(verdict.serial_reasons) if verdict else [],
+        "speedup": round(report.speedup, 4),
+        "pct_sequential": round(report.pct_sequential, 4),
+        "copy_out": [
+            {"name": d.name, "needs_copy_out": d.needs_copy_out}
+            for d in report.copy_out
+        ],
+    }
+    return row
+
+
+def timings_dict(timings: StageTimings) -> dict[str, float]:
+    """StageTimings as a JSON-ready dict of seconds."""
+    return {
+        "parse": timings.parse,
+        "frontend": timings.frontend,
+        "conventional": timings.conventional,
+        "dataflow": timings.dataflow,
+        "machine": timings.machine,
+        "total": timings.total,
+    }
+
+
+def analysis_stats_dict(stats: AnalysisStats) -> dict[str, int]:
+    """AnalysisStats as a JSON-ready dict."""
+    return {
+        "nodes_visited": stats.nodes_visited,
+        "gar_ops": stats.gar_ops,
+        "loops_summarized": stats.loops_summarized,
+        "routines_summarized": stats.routines_summarized,
+        "peak_gar_list": stats.peak_gar_list,
+    }
+
+
+def result_to_dict(
+    result: CompilationResult, name: str | None = None
+) -> dict[str, Any]:
+    """A whole compilation result as a JSON-ready dict."""
+    out: dict[str, Any] = {
+        "loops": [loop_report_row(r) for r in result.loops],
+        "parallel_loops": len(result.parallel_loops()),
+        "timings": timings_dict(result.timings),
+        "stats": analysis_stats_dict(result.analyzer.stats),
+    }
+    if name is not None:
+        out["name"] = name
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# roll-ups
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class EngineTelemetry:
+    """Aggregated counters for one batch/incremental engine run."""
+
+    files: int = 0
+    errors: int = 0
+    loops: int = 0
+    parallel_loops: int = 0
+    timings: dict[str, float] = field(
+        default_factory=lambda: {
+            "parse": 0.0,
+            "frontend": 0.0,
+            "conventional": 0.0,
+            "dataflow": 0.0,
+            "machine": 0.0,
+            "total": 0.0,
+        }
+    )
+    stats: dict[str, int] = field(
+        default_factory=lambda: {
+            "nodes_visited": 0,
+            "gar_ops": 0,
+            "loops_summarized": 0,
+            "routines_summarized": 0,
+            "peak_gar_list": 0,
+        }
+    )
+    cache: CacheStats = field(default_factory=CacheStats)
+    #: wall-clock seconds of the whole batch (not the sum of workers)
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    def note_result(self, payload: dict[str, Any]) -> None:
+        """Fold one serialized compilation result into the roll-up."""
+        self.files += 1
+        rows = payload.get("loops", [])
+        self.loops += len(rows)
+        self.parallel_loops += sum(1 for r in rows if r.get("parallel"))
+        for key, value in payload.get("timings", {}).items():
+            self.timings[key] = self.timings.get(key, 0.0) + value
+        for key, value in payload.get("stats", {}).items():
+            if key == "peak_gar_list":
+                self.stats[key] = max(self.stats.get(key, 0), value)
+            else:
+                self.stats[key] = self.stats.get(key, 0) + value
+
+    def note_cache(self, stats: CacheStats) -> None:
+        """Fold one worker's cache counters into the roll-up."""
+        self.cache.merge(stats)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "files": self.files,
+            "errors": self.errors,
+            "loops": self.loops,
+            "parallel_loops": self.parallel_loops,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "timings": dict(self.timings),
+            "stats": dict(self.stats),
+            "cache": self.cache.as_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        """Write the ``--stats-json`` export."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")
+
+    def summary_line(self) -> str:
+        """One-line human-readable roll-up."""
+        c = self.cache
+        return (
+            f"{self.files} file(s), {self.loops} loops "
+            f"({self.parallel_loops} parallel) in {self.wall_seconds:.2f}s "
+            f"wall [{self.jobs} job(s)]; cache: {c.hits} hit(s), "
+            f"{c.misses} miss(es), {c.evictions} eviction(s)"
+        )

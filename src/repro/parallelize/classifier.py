@@ -118,7 +118,7 @@ def classify_loop(
 
     reductions = {r.name: r for r in find_reductions(loop.body)}
     ctx = analyzer.context_for(unit_name)
-    for idx in analyzer._enclosing_indices(unit_name, loop):
+    for idx in analyzer.enclosing_indices(unit_name, loop):
         ctx = ctx.with_index(idx)
     inductions = recognized_inductions(analyzer, loop, ctx)
     privatization = privatize_loop(record, table, cmp)

@@ -214,9 +214,9 @@ def validate_loop(
 
     analyzer = SummaryAnalyzer(hsg)
     record: LoopSummaryRecord = analyzer.loop_record(unit, target)
-    enclosing = set(analyzer._enclosing_indices(unit, target))
+    enclosing = set(analyzer.enclosing_indices(unit, target))
     de_ctx = analyzer.context_for(unit)
-    for idx in analyzer._enclosing_indices(unit, target):
+    for idx in analyzer.enclosing_indices(unit, target):
         de_ctx = de_ctx.with_index(idx)
     de_i, _de = analyzer.loop_de_sets(target, de_ctx)
 

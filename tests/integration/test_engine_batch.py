@@ -1,0 +1,158 @@
+"""Integration tests: the batch engine over the five Perfect programs.
+
+The load-bearing guarantee: a warm-cache run is *observationally
+identical* to a cold run — every serialized loop verdict matches — while
+actually hitting the cache.
+"""
+
+import pytest
+
+from repro.dataflow import AnalysisOptions
+from repro.engine import (
+    BatchEngine,
+    BatchItem,
+    IncrementalEngine,
+    SummaryCache,
+    items_from_kernel_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel_items():
+    items = items_from_kernel_registry()
+    assert sorted(i.name for i in items) == [
+        "ARC2D", "MDG", "OCEAN", "TRACK", "TRFD",
+    ]
+    return items
+
+
+class TestBatchWarmCold:
+    def test_warm_rerun_identical_and_hits(self, kernel_items, tmp_path):
+        cold_engine = BatchEngine(cache_dir=tmp_path, jobs=1)
+        cold = cold_engine.run(kernel_items)
+        assert cold.ok, [r.error for r in cold.results if not r.ok]
+        assert cold.telemetry.cache.hits == 0
+        assert cold.telemetry.cache.stores > 0
+
+        warm_engine = BatchEngine(cache_dir=tmp_path, jobs=1)
+        warm = warm_engine.run(kernel_items)
+        assert warm.ok
+        assert warm.telemetry.cache.hits > 0
+        # bit-identical serialized verdicts, program by program
+        assert warm.verdict_rows() == cold.verdict_rows()
+
+    def test_results_in_input_order(self, kernel_items):
+        report = BatchEngine(jobs=1).run(kernel_items)
+        assert [r.name for r in report.results] == [
+            i.name for i in kernel_items
+        ]
+
+    def test_parse_error_is_contained(self, tmp_path):
+        items = [
+            BatchItem(name="bad", source="      this is not fortran\n"),
+            BatchItem(
+                name="good",
+                source=(
+                    "      SUBROUTINE s(a, n)\n      REAL a(100)\n"
+                    "      INTEGER n, i\n      DO i = 1, n\n"
+                    "        a(i) = 1.0\n      ENDDO\n      END\n"
+                ),
+            ),
+        ]
+        report = BatchEngine(cache_dir=tmp_path, jobs=1).run(items)
+        assert not report.ok
+        assert report.result("bad").error is not None
+        assert report.result("good").ok
+        assert report.telemetry.errors == 1
+        assert len(report.result("good").rows()) == 1
+
+    def test_ablated_options_use_disjoint_cache_keys(self, tmp_path):
+        items = items_from_kernel_registry()[:1]
+        BatchEngine(cache_dir=tmp_path, jobs=1).run(items)
+        ablated = BatchEngine(
+            AnalysisOptions(symbolic=False), cache_dir=tmp_path, jobs=1
+        ).run(items)
+        # a run with different techniques must not be served T1 summaries
+        assert ablated.telemetry.cache.hits == 0
+
+
+class TestBatchPool:
+    def test_pool_matches_sequential(self, kernel_items, tmp_path):
+        seq = BatchEngine(jobs=1).run(kernel_items)
+        pool = BatchEngine(cache_dir=tmp_path, jobs=2).run(kernel_items)
+        assert pool.ok, [r.error for r in pool.results if not r.ok]
+        assert pool.verdict_rows() == seq.verdict_rows()
+        # the workers' cache delta landed in the parent's memory tier
+        assert len(pool.results) == len(kernel_items)
+        assert pool.telemetry.jobs == 2
+
+    def test_worker_deltas_warm_the_parent(self, kernel_items, tmp_path):
+        engine = BatchEngine(cache_dir=tmp_path, jobs=2)
+        engine.run(kernel_items)
+        assert len(engine.cache) > 0  # adopted from worker stores
+        warm = BatchEngine(cache_dir=tmp_path, jobs=1).run(kernel_items)
+        assert warm.telemetry.cache.hits > 0
+
+
+TWO_ROUTINES = (
+    "      SUBROUTINE top(a, n)\n"
+    "      REAL a(100)\n"
+    "      INTEGER n, i\n"
+    "      REAL t(100)\n"
+    "      DO i = 1, n\n"
+    "        CALL fill(t, i)\n"
+    "        a(i) = t(1)\n"
+    "      ENDDO\n"
+    "      END\n"
+    "      SUBROUTINE fill(t, i)\n"
+    "      REAL t(100)\n"
+    "      INTEGER i\n"
+    "      t(1) = {value} * i\n"
+    "      END\n"
+    "      SUBROUTINE bystander(b, m)\n"
+    "      REAL b(100)\n"
+    "      INTEGER m, k, j\n"
+    "      REAL t(50)\n"
+    "      DO k = 1, m\n"
+    "        DO j = 1, 10\n"
+    "          t(j) = b(j) + k\n"
+    "        ENDDO\n"
+    "        b(k) = t(1)\n"
+    "      ENDDO\n"
+    "      END\n"
+)
+
+
+class TestIncremental:
+    def test_callee_edit_reanalyzes_only_the_chain(self):
+        engine = IncrementalEngine(cache=SummaryCache())
+        first = engine.analyze(TWO_ROUTINES.format(value="2.0"), name="prog")
+        assert sorted(first.report.changed) == ["bystander", "fill", "top"]
+        assert first.report.reused == []
+
+        second = engine.analyze(TWO_ROUTINES.format(value="3.0"), name="prog")
+        assert second.report.changed == ["fill"]
+        assert second.report.invalidated == ["top"]
+        assert "bystander" in second.report.reused
+
+    def test_unchanged_rerun_reuses_everything(self):
+        engine = IncrementalEngine(cache=SummaryCache())
+        src = TWO_ROUTINES.format(value="2.0")
+        engine.analyze(src, name="prog")
+        again = engine.analyze(src, name="prog")
+        assert again.report.changed == []
+        assert again.report.invalidated == []
+        assert len(again.report.reused) > 0
+
+    def test_verdicts_survive_the_cache(self):
+        cache = SummaryCache()
+        engine = IncrementalEngine(cache=cache)
+        src = TWO_ROUTINES.format(value="2.0")
+        from repro.engine import result_to_dict
+
+        cold = result_to_dict(engine.analyze(src, name="prog").result)
+        warm = result_to_dict(engine.analyze(src, name="prog").result)
+        # timings and work counters legitimately shrink when warm; the
+        # verdicts themselves must not move at all
+        assert cold["loops"] == warm["loops"]
+        assert warm["parallel_loops"] == cold["parallel_loops"]

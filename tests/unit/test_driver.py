@@ -111,6 +111,36 @@ class TestCli:
         out = capsys.readouterr().out
         assert "HSG of smooth" in out
 
+    def test_cli_json_flag(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "k.f"
+        f.write_text(SOURCE)
+        rc = cli_main([str(f), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "k.f"
+        assert len(payload["loops"]) == 3
+        statuses = {row["loop"]: row["status"] for row in payload["loops"]}
+        assert statuses["smooth/i"] == "parallel (privatized)"
+        assert "timings" in payload and "stats" in payload
+
+    def test_cli_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_cli_prints_analysis_stats(self, tmp_path, capsys):
+        f = tmp_path / "k.f"
+        f.write_text(SOURCE)
+        cli_main([str(f)])
+        out = capsys.readouterr().out
+        assert "analysis cost:" in out
+        assert "HSG nodes visited" in out
+
 
 class TestReportHelpers:
     def test_format_table(self):
