@@ -114,6 +114,10 @@ def test_engine_throughput(benchmark):
     assert checks["all_ok"], table
     assert checks["verdicts_identical"], table
     assert checks["warm_hits"] > 0, table
+    if os.environ.get("PANORAMA_BENCH_CHECK_ONLY"):
+        # CI smoke mode: verdict identity only — wall-clock comparisons
+        # flake on loaded shared runners
+        return
     # a warm cache must beat a cold sequential run outright
     assert checks["warm_ms"] < checks["seq_ms"], table
     # worker fan-out only wins where the hardware has cores to fan over

@@ -95,6 +95,10 @@ class AnalysisStats:
     loops_summarized: int = 0
     routines_summarized: int = 0
     peak_gar_list: int = 0
+    #: symbolic-kernel counter/cache deltas attributed to this compile
+    #: (flat ``repro.perf`` snapshot keys → numbers); filled by the
+    #: pipeline driver so ``panorama --json`` can expose them
+    symbolic: dict = field(default_factory=dict)
 
     def note_list(self, gars: GARList) -> None:
         """Record a GAR-list size for the peak statistic."""

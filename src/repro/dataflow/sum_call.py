@@ -26,6 +26,7 @@ from typing import Optional
 
 from ..fortran.ast_nodes import Apply, Expr, NameRef
 from ..hsg.nodes import CallNode
+from ..perf.profiler import COUNTERS, timed
 from ..regions import GAR, GARList
 from ..regions.gar_ops import subtract_lists, union_lists
 from ..symbolic import SymExpr
@@ -52,10 +53,12 @@ def transfer_call(
     return Summary(mod_in, ue_in)
 
 
+@timed("sum_call")
 def summarize_call(
     analyzer, node: CallNode, ctx: ConversionContext
 ) -> Summary:
     """The call's own (MOD, UE) contribution, in caller terms."""
+    COUNTERS.sum_call_calls += 1
     callee = node.callee
     known = callee in analyzer.hsg.analyzed.unit_names()
     if not analyzer.options.interprocedural or not known:

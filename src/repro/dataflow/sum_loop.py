@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 
 from ..hsg.nodes import LoopNode
+from ..perf.profiler import COUNTERS, timed
 from ..regions import GARList
 from ..regions.gar_ops import subtract_lists, union_lists
 from ..symbolic import SymExpr
@@ -228,10 +229,12 @@ def _omega_out_symbol(gars: GARList, name: str) -> GARList:
     return GARList(out)
 
 
+@timed("sum_loop")
 def summarize_loop(
     analyzer, loop: LoopNode, ctx: ConversionContext
 ) -> LoopSummaryRecord:
     """Compute the full :class:`LoopSummaryRecord` for *loop*."""
+    COUNTERS.sum_loop_calls += 1
     cmp = analyzer.comparer
     inner_ctx = ctx.with_index(loop.var)
     body = analyzer.sum_segment(loop.body, inner_ctx)

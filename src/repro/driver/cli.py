@@ -13,8 +13,9 @@ import sys
 from pathlib import Path
 
 from ..dataflow import AnalysisOptions
+from ..perf import profiler
 from .panorama import Panorama
-from .report import format_stats, format_table, yes_no
+from .report import format_perf, format_stats, format_table, yes_no
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -64,6 +65,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="emit the per-loop verdicts as machine-readable JSON",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the symbolic-kernel profiler and print per-phase "
+        "timers plus cache hit/miss counters after the verdicts",
+    )
+    parser.add_argument(
         "--version",
         action="version",
         version=_version_string(),
@@ -91,6 +98,8 @@ def main(argv: list[str] | None = None) -> int:
         interprocedural="T3" not in args.ablate,
         use_fm=not args.no_fm,
     )
+    if args.profile:
+        profiler.enable()
     panorama = Panorama(options, run_machine_model=not args.no_machine)
     result = panorama.compile(source)
 
@@ -137,6 +146,10 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(result.summary_line())
     print(format_stats(result.analyzer.stats, result.timings))
+
+    if args.profile:
+        print()
+        print(format_perf(result.analyzer.stats.symbolic))
 
     if args.summaries:
         for report in result.loops:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..dataflow import AnalysisOptions, SummaryAnalyzer
+from ..perf import profiler
 from ..deptest.ddg import ScreenReport, ScreenVerdict, screen_loop
 from ..fortran import AnalyzedProgram, Program, analyze, parse_program
 from ..hsg import HSG, LoopNode, build_hsg
@@ -143,6 +144,7 @@ class Panorama:
 
     def compile(self, source: str) -> CompilationResult:
         """Run the full pipeline on Fortran source text."""
+        perf_before = profiler.snapshot()
         timings = StageTimings()
         t0 = time.perf_counter()
         program = parse_program(source)
@@ -166,6 +168,7 @@ class Panorama:
             t0 = time.perf_counter()
             self._apply_machine_model(result)
             timings.machine = time.perf_counter() - t0
+        analyzer.stats.symbolic = profiler.delta(perf_before, profiler.snapshot())
         if self.hooks is not None:
             self.hooks.finish(result)
         return result

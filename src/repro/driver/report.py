@@ -57,4 +57,79 @@ def format_stats(stats, timings=None) -> str:
     if timings is not None and timings.total > 0:
         share = timings.dataflow / timings.total * 100.0
         line += f" ({share:.0f}% of time in dataflow)"
+    symbolic = getattr(stats, "symbolic", None)
+    if symbolic:
+        hits = sum(
+            v for k, v in symbolic.items()
+            if k.startswith("cache.") and k.endswith(".hits")
+        )
+        misses = sum(
+            v for k, v in symbolic.items()
+            if k.startswith("cache.") and k.endswith(".misses")
+        )
+        proves = symbolic.get("counter.prove_calls", 0)
+        if hits or misses:
+            total = hits + misses
+            rate = hits / total * 100.0 if total else 0.0
+            line += (
+                f"; symbolic caches: {int(hits)} hit(s) / "
+                f"{int(misses)} miss(es) ({rate:.0f}% hit rate), "
+                f"{int(proves)} prove call(s)"
+            )
     return line
+
+
+def format_perf(symbolic: dict) -> str:
+    """Render a ``repro.perf`` snapshot delta (``--profile`` output).
+
+    Three sections: per-phase wall-clock timers, hot-path call counters,
+    and per-cache hit/miss/eviction gauges.  Keys follow the flat
+    ``repro.perf.profiler.snapshot`` naming scheme.
+    """
+    sections: list[str] = []
+    phases = sorted(
+        {k[5:].rsplit(".", 1)[0] for k in symbolic if k.startswith("time.")}
+    )
+    if phases:
+        rows = [
+            (
+                p,
+                int(symbolic.get(f"time.{p}.calls", 0)),
+                f"{symbolic.get(f'time.{p}.seconds', 0.0) * 1000:.1f}",
+            )
+            for p in phases
+        ]
+        sections.append(
+            format_table(["phase", "calls", "ms"], rows, title="phase timers")
+        )
+    counters = sorted(k for k in symbolic if k.startswith("counter."))
+    if counters:
+        rows = [(k.split(".", 1)[1], int(symbolic[k])) for k in counters]
+        sections.append(
+            format_table(["counter", "count"], rows, title="hot-path counters")
+        )
+    # cache names themselves contain dots ("monomial.intern"), so strip
+    # the "cache." prefix and the final ".hits"/".misses"/… component
+    names = sorted(
+        {k[6:].rsplit(".", 1)[0] for k in symbolic if k.startswith("cache.")}
+    )
+    if names:
+        rows = []
+        for n in names:
+            hits = int(symbolic.get(f"cache.{n}.hits", 0))
+            misses = int(symbolic.get(f"cache.{n}.misses", 0))
+            total = hits + misses
+            rate = f"{hits / total * 100.0:.0f}%" if total else "-"
+            rows.append(
+                (n, hits, misses, int(symbolic.get(f"cache.{n}.evictions", 0)), rate)
+            )
+        sections.append(
+            format_table(
+                ["cache", "hits", "misses", "evictions", "hit rate"],
+                rows,
+                title="symbolic caches",
+            )
+        )
+    if not sections:
+        return "no profiling data recorded"
+    return "\n\n".join(sections)

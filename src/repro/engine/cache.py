@@ -42,7 +42,9 @@ from ..fortran.callgraph import CallGraph
 from ..fortran.printers import unparse_unit
 
 #: bump when RoutineCacheEntry or the pickled analysis types change shape
-CACHE_FORMAT_VERSION = 1
+#: (v2: symbolic terms/exprs/relations are hash-consed and pickle through
+#: their interning constructors — v1 pickles carried raw slot state)
+CACHE_FORMAT_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #

@@ -89,6 +89,9 @@ def result_to_dict(
         "parallel_loops": len(result.parallel_loops()),
         "timings": timings_dict(result.timings),
         "stats": analysis_stats_dict(result.analyzer.stats),
+        # symbolic-kernel counter/cache deltas ride as their own key:
+        # "stats" stays a flat int dict the roll-up can fold blindly
+        "symbolic": dict(result.analyzer.stats.symbolic),
     }
     if name is not None:
         out["name"] = name
@@ -128,6 +131,9 @@ class EngineTelemetry:
         }
     )
     cache: CacheStats = field(default_factory=CacheStats)
+    #: symbolic-kernel counter/cache deltas summed across results (flat
+    #: ``repro.perf`` snapshot keys → numbers)
+    symbolic: dict[str, float] = field(default_factory=dict)
     #: wall-clock seconds of the whole batch (not the sum of workers)
     wall_seconds: float = 0.0
     jobs: int = 1
@@ -145,6 +151,8 @@ class EngineTelemetry:
                 self.stats[key] = max(self.stats.get(key, 0), value)
             else:
                 self.stats[key] = self.stats.get(key, 0) + value
+        for key, value in payload.get("symbolic", {}).items():
+            self.symbolic[key] = self.symbolic.get(key, 0) + value
 
     def note_cache(self, stats: CacheStats) -> None:
         """Fold one worker's cache counters into the roll-up."""
@@ -161,6 +169,7 @@ class EngineTelemetry:
             "timings": dict(self.timings),
             "stats": dict(self.stats),
             "cache": self.cache.as_dict(),
+            "symbolic": dict(self.symbolic),
         }
 
     def to_json(self, indent: int | None = 2) -> str:

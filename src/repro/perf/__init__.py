@@ -1,0 +1,46 @@
+"""Profiling and cache-observability layer for the symbolic kernels.
+
+See :mod:`repro.perf.profiler` for the instruments.  This package must
+stay dependency-free within :mod:`repro` — the symbolic substrate
+imports it, never the other way round.
+"""
+
+from .profiler import (
+    COUNTERS,
+    MISS,
+    BoundedCache,
+    Counters,
+    add_time,
+    caches,
+    clear_caches,
+    delta,
+    disable,
+    enable,
+    is_enabled,
+    reset,
+    reset_timers,
+    resize_caches,
+    snapshot,
+    timed,
+    timers,
+)
+
+__all__ = [
+    "BoundedCache",
+    "COUNTERS",
+    "Counters",
+    "MISS",
+    "add_time",
+    "caches",
+    "clear_caches",
+    "delta",
+    "disable",
+    "enable",
+    "is_enabled",
+    "reset",
+    "reset_timers",
+    "resize_caches",
+    "snapshot",
+    "timed",
+    "timers",
+]

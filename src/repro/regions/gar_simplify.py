@@ -18,6 +18,7 @@ except where noted inline.
 
 from __future__ import annotations
 
+from ..perf.profiler import COUNTERS, timed
 from ..symbolic import Comparer, predicate_implies
 from .gar import GAR, GARList
 from .region_ops import region_covers, region_union
@@ -54,9 +55,23 @@ def _covers(g1: GAR, g2: GAR, cmp: Comparer) -> bool:
     return region_covers(g1.region, g2.region, cmp.refine(g2.guard))
 
 
+@timed("gar_simplify")
 def simplify_gar_list(gars: GARList, cmp: Comparer) -> GARList:
     """Remove empty and redundant members; merge where possible."""
-    work = [g for g in gars if not g.provably_empty(use_fm=cmp.use_fm)]
+    COUNTERS.gar_simplify_calls += 1
+    # emptiness is a pure property of the GAR (its guard), so compute it
+    # at most once per distinct GAR for the whole call — the per-pass
+    # re-filter below used to re-prove it for every survivor
+    empties: dict[GAR, bool] = {}
+
+    def is_empty(g: GAR) -> bool:
+        cached = empties.get(g)
+        if cached is None:
+            COUNTERS.gar_emptiness_checks += 1
+            cached = empties[g] = g.provably_empty(use_fm=cmp.use_fm)
+        return cached
+
+    work = [g for g in gars if not is_empty(g)]
     if len(work) <= 1:
         return GARList(work)
     if len(work) > MAX_PAIRWISE:
@@ -97,10 +112,10 @@ def simplify_gar_list(gars: GARList, cmp: Comparer) -> GARList:
             else:
                 kept.append(g)
         work = kept
-        # drop any newly-empty results
-        before = len(work)
-        work = [g for g in work if not g.provably_empty(use_fm=cmp.use_fm)]
-        changed = changed or len(work) != before
+        # drop any newly-empty results; only a structural change (a merge
+        # building new GARs) can introduce one, so skip the re-check when
+        # the pass was a no-op
         if not changed:
             break
+        work = [g for g in work if not is_empty(g)]
     return GARList(work)

@@ -16,10 +16,26 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..perf.profiler import COUNTERS, MISS, BoundedCache
 from .expr import ExprLike, SymExpr
 from .fourier_motzkin import definitely_unsat, implied_by
 from .predicate import Predicate
 from .relation import Atom, Relation
+
+#: (context fingerprint, use_fm, relation) → three-valued verdict.  The
+#: fingerprint is the frozen set of context unit atoms, so every Comparer
+#: over the same effective context — including refined children that
+#: round-trip back to a previously seen context — shares one memo line.
+_PROVE_CACHE = BoundedCache("comparer.prove", maxsize=32768)
+#: predicate-level entailment/unsat memos (the GAR/region pairwise passes
+#: re-ask these for the same guard pairs across every simplification pass)
+_IMPLIES_CACHE = BoundedCache("predicate.implies", maxsize=16384)
+_PRED_UNSAT_CACHE = BoundedCache("predicate.unsat", maxsize=16384)
+
+
+def _all_unit_cnf(pred: Predicate) -> bool:
+    """Is *pred* a CNF whose clauses are all unit clauses?"""
+    return pred.is_cnf() and all(c.is_unit() for c in pred.clauses)
 
 
 class Comparer:
@@ -37,9 +53,13 @@ class Comparer:
         #: with symbolic reasoning off (the T1 ablation of the paper's
         #: Table 1) only constant folding is available
         self.symbolic = symbolic
-        self._context_atoms: list[Atom] = (
+        self._set_atoms(
             self.context.unit_atoms() if self.context.is_cnf() else []
         )
+
+    def _set_atoms(self, atoms: list[Atom]) -> None:
+        self._context_atoms = atoms
+        self._ctx_key = (frozenset(atoms), self.use_fm)
 
     # -- core three-valued proof ------------------------------------------------
 
@@ -50,6 +70,14 @@ class Comparer:
             return t
         if not self.symbolic:
             return None
+        COUNTERS.prove_calls += 1
+        key = (self._ctx_key, relation)
+        cached = _PROVE_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        return _PROVE_CACHE.put(key, self._prove_uncached(relation))
+
+    def _prove_uncached(self, relation: Relation) -> Optional[bool]:
         for atom in self._context_atoms:
             r = atom.implies(relation)
             if r is True:
@@ -57,6 +85,7 @@ class Comparer:
             if atom.implies(relation.negate()) is True:
                 return False
         if self.use_fm:
+            COUNTERS.prove_fm_queries += 1
             if implied_by(self._context_atoms, relation):
                 return True
             if implied_by(self._context_atoms, relation.negate()):
@@ -105,12 +134,42 @@ class Comparer:
         return definitely_unsat(self._context_atoms)
 
     def refine(self, extra: Predicate) -> "Comparer":
-        """A comparer whose context additionally assumes *extra*."""
+        """A comparer whose context additionally assumes *extra*.
+
+        The conjoined context predicate is still built (it is the child's
+        ``context``, and FALSE detection must see the full conjunction),
+        but the expensive part — re-extracting the unit-atom list from the
+        conjoined CNF — is done incrementally when both sides are plain
+        atom conjunctions: the child's atoms are the parent's atoms plus
+        the extra predicate's unit atoms.  Simplification of the
+        conjunction can only drop atoms subsumed by kept ones in that
+        case, so the extended list is a verdict-equivalent superset.
+        """
         if extra.is_true() or not self.symbolic:
             return self
-        return Comparer(
-            self.context & extra, use_fm=self.use_fm, symbolic=self.symbolic
-        )
+        combined = self.context & extra
+        child = Comparer.__new__(Comparer)
+        child.context = combined
+        child.use_fm = self.use_fm
+        child.symbolic = self.symbolic
+        if not combined.is_cnf():
+            child._set_atoms([])
+        elif (
+            _all_unit_cnf(extra)
+            and (self.context.is_true() or _all_unit_cnf(self.context))
+        ):
+            atoms = list(self._context_atoms)
+            seen = set(atoms)
+            for atom in extra.unit_atoms():
+                if atom not in seen:
+                    seen.add(atom)
+                    atoms.append(atom)
+            child._set_atoms(atoms)
+        else:
+            # non-unit clauses present: unit propagation may surface new
+            # unit atoms, so fall back to the full extraction
+            child._set_atoms(combined.unit_atoms())
+        return child
 
 
 def predicate_unsat(pred: Predicate, use_fm: bool = True) -> bool:
@@ -123,7 +182,10 @@ def predicate_unsat(pred: Predicate, use_fm: bool = True) -> bool:
         return True
     if not pred.is_cnf() or not use_fm:
         return False
-    return definitely_unsat(pred.unit_atoms())
+    cached = _PRED_UNSAT_CACHE.get(pred)
+    if cached is not MISS:
+        return cached
+    return _PRED_UNSAT_CACHE.put(pred, definitely_unsat(pred.unit_atoms()))
 
 
 def predicate_implies(p: Predicate, q: Predicate, use_fm: bool = True) -> bool:
@@ -133,10 +195,16 @@ def predicate_implies(p: Predicate, q: Predicate, use_fm: bool = True) -> bool:
         return direct
     if not use_fm or not p.is_cnf() or not q.is_cnf():
         return False
+    key = (p, q)
+    cached = _IMPLIES_CACHE.get(key)
+    if cached is not MISS:
+        return cached
     context = p.unit_atoms()
     # q holds if every clause of q is implied; for unit clauses use FM,
     # for wider clauses require some atom individually implied.
+    result = True
     for clause in q.clauses:
         if not any(implied_by(context, atom) for atom in clause.atoms):
-            return False
-    return True
+            result = False
+            break
+    return _IMPLIES_CACHE.put(key, result)

@@ -9,6 +9,13 @@ valued in well-formed programs.
 
 Expressions are immutable and hashable, so they can be used as dictionary
 keys throughout the region and predicate layers.
+
+Expressions are **hash-consed** like monomials: construction interns the
+canonical term tuple in a bounded LRU table, and the four arithmetic
+operations carry memoized binary-op caches keyed by the (interned)
+operands — the dominant kernel cost of re-sorting and re-hashing terms
+on every op collapses to a dict hit on repeats.  Bounded eviction only
+loses sharing, never changes a value.
 """
 
 from __future__ import annotations
@@ -17,10 +24,21 @@ from fractions import Fraction
 from typing import Iterable, Mapping, Optional, Tuple, Union
 
 from ..errors import SymbolicError
+from ..perf.profiler import MISS, BoundedCache
 from .terms import Monomial
 
 Number = Union[int, Fraction]
 ExprLike = Union["SymExpr", int, Fraction, str]
+
+#: canonical term tuple → the interned instance
+_INTERN = BoundedCache("symexpr.intern", maxsize=16384)
+#: binary/unary op memo tables, keyed by interned operands
+_ADD_CACHE = BoundedCache("symexpr.add", maxsize=16384)
+_MUL_CACHE = BoundedCache("symexpr.mul", maxsize=16384)
+_NEG_CACHE = BoundedCache("symexpr.neg", maxsize=16384)
+_SCALE_CACHE = BoundedCache("symexpr.scale", maxsize=16384)
+#: tiny constructor memos (constants and variables recur constantly)
+_ATOM_CACHE = BoundedCache("symexpr.atom", maxsize=4096)
 
 
 class SymExpr:
@@ -32,7 +50,7 @@ class SymExpr:
 
     __slots__ = ("_terms", "_hash")
 
-    def __init__(self, terms: Mapping[Monomial, Number] | None = None) -> None:
+    def __new__(cls, terms: Mapping[Monomial, Number] | None = None) -> "SymExpr":
         clean: dict[Monomial, Fraction] = {}
         if terms:
             for mono, coeff in terms.items():
@@ -46,20 +64,39 @@ class SymExpr:
                             del clean[mono]
                     else:
                         clean[mono] = c
-        self._terms: Tuple[Tuple[Monomial, Fraction], ...] = tuple(
+        key: Tuple[Tuple[Monomial, Fraction], ...] = tuple(
             sorted(clean.items(), key=lambda kv: kv[0].sort_key())
         )
-        self._hash = hash(self._terms)
+        cached = _INTERN.get(key)
+        if cached is not MISS:
+            return cached
+        self = object.__new__(cls)
+        self._terms = key
+        self._hash = hash(key)
+        _INTERN.put(key, self)
+        return self
+
+    def __reduce__(self):
+        # Unpickle through the interning constructor (see Monomial).
+        return (SymExpr, (dict(self._terms),))
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
     def const(cls, value: Number) -> "SymExpr":
-        return cls({Monomial.unit(): Fraction(value)})
+        key = ("const", value)
+        cached = _ATOM_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        return _ATOM_CACHE.put(key, cls({Monomial.unit(): Fraction(value)}))
 
     @classmethod
     def var(cls, name: str) -> "SymExpr":
-        return cls({Monomial.var(name): Fraction(1)})
+        key = ("var", name)
+        cached = _ATOM_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        return _ATOM_CACHE.put(key, cls({Monomial.var(name): Fraction(1)}))
 
     @classmethod
     def coerce(cls, value: ExprLike) -> "SymExpr":
@@ -160,15 +197,22 @@ class SymExpr:
 
     def __add__(self, other: ExprLike) -> "SymExpr":
         other = SymExpr.coerce(other)
+        key = (self, other)
+        cached = _ADD_CACHE.get(key)
+        if cached is not MISS:
+            return cached
         merged = dict(self._terms)
         for mono, coeff in other._terms:
             merged[mono] = merged.get(mono, Fraction(0)) + coeff
-        return SymExpr(merged)
+        return _ADD_CACHE.put(key, SymExpr(merged))
 
     __radd__ = __add__
 
     def __neg__(self) -> "SymExpr":
-        return SymExpr({m: -c for m, c in self._terms})
+        cached = _NEG_CACHE.get(self)
+        if cached is not MISS:
+            return cached
+        return _NEG_CACHE.put(self, SymExpr({m: -c for m, c in self._terms}))
 
     def __sub__(self, other: ExprLike) -> "SymExpr":
         return self + (-SymExpr.coerce(other))
@@ -178,12 +222,16 @@ class SymExpr:
 
     def __mul__(self, other: ExprLike) -> "SymExpr":
         other = SymExpr.coerce(other)
+        key = (self, other)
+        cached = _MUL_CACHE.get(key)
+        if cached is not MISS:
+            return cached
         out: dict[Monomial, Fraction] = {}
         for m1, c1 in self._terms:
             for m2, c2 in other._terms:
                 mono = m1 * m2
                 out[mono] = out.get(mono, Fraction(0)) + c1 * c2
-        return SymExpr(out)
+        return _MUL_CACHE.put(key, SymExpr(out))
 
     __rmul__ = __mul__
 
@@ -195,11 +243,20 @@ class SymExpr:
         d = Fraction(divisor)
         if not d:
             raise SymbolicError("division of symbolic expression by zero")
-        return SymExpr({m: c / d for m, c in self._terms})
+        key = (self, "/", d)
+        cached = _SCALE_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        return _SCALE_CACHE.put(key, SymExpr({m: c / d for m, c in self._terms}))
 
     def scaled(self, factor: Number) -> "SymExpr":
         """The expression multiplied by a rational constant."""
-        return SymExpr({m: c * Fraction(factor) for m, c in self._terms})
+        f = Fraction(factor)
+        key = (self, "*", f)
+        cached = _SCALE_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        return _SCALE_CACHE.put(key, SymExpr({m: c * f for m, c in self._terms}))
 
     # -- substitution / evaluation ---------------------------------------------
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence
 
+from ..perf.profiler import COUNTERS, MISS, BoundedCache
 from .expr import SymExpr
 from .relation import Atom, BoolAtom, Relation, RelOp
 
@@ -36,6 +37,14 @@ from .relation import Atom, BoolAtom, Relation, RelOp
 MAX_VARIABLES = 24
 MAX_CONSTRAINTS = 600
 MAX_NE_SPLITS = 3
+
+#: frozen atom set → unsat verdict.  LRU-bounded: the old clear-when-full
+#: dict dropped the entire working set at the worst moment (mid-analysis
+#: of a large routine); eviction now sheds only the coldest entries.
+_UNSAT_CACHE = BoundedCache("fm.unsat", maxsize=65536)
+#: (frozen context atoms, conclusion) → implication verdict; avoids even
+#: building the combined atom list on repeats
+_IMPLIED_CACHE = BoundedCache("fm.implied_by", maxsize=65536)
 
 
 class _Constraint:
@@ -163,17 +172,9 @@ def definitely_unsat(atoms: Iterable[Atom]) -> bool:
     """
     key = frozenset(atoms)
     cached = _UNSAT_CACHE.get(key)
-    if cached is not None:
+    if cached is not MISS:
         return cached
-    result = _definitely_unsat(key)
-    if len(_UNSAT_CACHE) > _UNSAT_CACHE_LIMIT:
-        _UNSAT_CACHE.clear()
-    _UNSAT_CACHE[key] = result
-    return result
-
-
-_UNSAT_CACHE: dict[frozenset, bool] = {}
-_UNSAT_CACHE_LIMIT = 200_000
+    return _UNSAT_CACHE.put(key, _definitely_unsat(key))
 
 
 def _definitely_unsat(atoms: frozenset) -> bool:
@@ -193,6 +194,7 @@ def _definitely_unsat(atoms: frozenset) -> bool:
     if not relations:
         return False
     for system in _atoms_to_systems(relations, MAX_NE_SPLITS):
+        COUNTERS.fm_eliminations += 1
         if _eliminate(system) is not True:
             return False
     return True
@@ -203,4 +205,11 @@ def implied_by(context: Iterable[Atom], conclusion: Atom) -> bool:
 
     Checked as unsatisfiability of ``context AND NOT conclusion``.
     """
-    return definitely_unsat(list(context) + [conclusion.negate()])
+    ctx = context if isinstance(context, frozenset) else frozenset(context)
+    key = (ctx, conclusion)
+    cached = _IMPLIED_CACHE.get(key)
+    if cached is not MISS:
+        return cached
+    return _IMPLIED_CACHE.put(
+        key, definitely_unsat(list(ctx) + [conclusion.negate()])
+    )

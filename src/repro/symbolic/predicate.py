@@ -18,12 +18,21 @@ import enum
 import itertools
 from typing import Iterable, Mapping, Optional
 
+from ..perf.profiler import MISS, BoundedCache
 from .expr import SymExpr
 from .relation import Atom, BoolAtom, Relation
 
 #: complexity caps beyond which predicate operations degrade to UNKNOWN
 MAX_CLAUSES = 80
 MAX_ATOMS_PER_CLAUSE = 24
+
+#: memo tables for the CNF-normalizing logical connectives — conj/disj
+#: redo pairwise simplification from scratch on every call, and guard
+#: algebra in the region layers conjoins the same few predicates over
+#: and over; keys are the (hashable) operand predicates themselves
+_CONJ_CACHE = BoundedCache("predicate.conj", maxsize=8192)
+_DISJ_CACHE = BoundedCache("predicate.disj", maxsize=8192)
+_NEG_CACHE = BoundedCache("predicate.negate", maxsize=8192)
 
 
 class _Kind(enum.Enum):
@@ -276,7 +285,12 @@ class Predicate:
             return self
         if self.is_unknown() or other.is_unknown():
             return _UNKNOWN
-        return Predicate.of_clauses(list(self.clauses) + list(other.clauses))
+        key = (self, other)
+        cached = _CONJ_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        out = Predicate.of_clauses(list(self.clauses) + list(other.clauses))
+        return _CONJ_CACHE.put(key, out)
 
     def disj(self, other: "Predicate") -> "Predicate":
         """OR.  ``TRUE`` dominates; Δ OR P is Δ unless P is TRUE."""
@@ -290,12 +304,16 @@ class Predicate:
             return _UNKNOWN
         if len(self.clauses) * len(other.clauses) > MAX_CLAUSES:
             return _UNKNOWN
+        key = (self, other)
+        cached = _DISJ_CACHE.get(key)
+        if cached is not MISS:
+            return cached
         merged = [
             Disjunction(list(c1.atoms) + list(c2.atoms))
             for c1 in self.clauses
             for c2 in other.clauses
         ]
-        return Predicate.of_clauses(merged)
+        return _DISJ_CACHE.put(key, Predicate.of_clauses(merged))
 
     def negate(self) -> "Predicate":
         """De Morgan negation, redistributed to CNF (Δ on blow-up)."""
@@ -305,6 +323,9 @@ class Predicate:
             return _TRUE
         if self.is_unknown():
             return _UNKNOWN
+        cached = _NEG_CACHE.get(self)
+        if cached is not MISS:
+            return cached
         # not(AND of clauses) = OR over clauses of (AND of negated atoms):
         # distribute to CNF by taking one atom from each clause.
         sizes = 1
@@ -317,7 +338,7 @@ class Predicate:
             Disjunction(a.negate() for a in combo)
             for combo in itertools.product(*picks)
         ]
-        return Predicate.of_clauses(new_clauses)
+        return _NEG_CACHE.put(self, Predicate.of_clauses(new_clauses))
 
     def __and__(self, other: "Predicate") -> "Predicate":
         return self.conj(other)

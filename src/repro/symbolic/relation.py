@@ -29,7 +29,11 @@ from functools import reduce
 from math import gcd
 from typing import Mapping, Optional, Union
 
+from ..perf.profiler import MISS, BoundedCache
 from .expr import ExprLike, SymExpr
+
+#: canonical (expr, op, integer) triple → the interned instance
+_INTERN = BoundedCache("relation.intern", maxsize=16384)
 
 
 class RelOp(enum.Enum):
@@ -82,18 +86,38 @@ def _normalize(expr: SymExpr, op: RelOp, integer: bool) -> tuple[SymExpr, RelOp]
 
 
 class Relation:
-    """A canonical relational atom ``expr op 0``."""
+    """A canonical relational atom ``expr op 0``.
+
+    Relations are hash-consed like expressions: construction normalizes,
+    then interns on the canonical ``(expr, op, integer)`` triple, so the
+    predicate layer's pairwise passes mostly compare identical objects
+    and :meth:`negate` is computed once per distinct relation.
+    """
 
     __slots__ = ("expr", "op", "integer", "_hash", "_negated")
 
-    def __init__(self, expr: ExprLike, op: RelOp, integer: bool = True) -> None:
+    def __new__(cls, expr: ExprLike, op: RelOp, integer: bool = True) -> "Relation":
         e = SymExpr.coerce(expr)
         e, op = _normalize(e, op, integer)
+        key = (e, op, integer)
+        cached = _INTERN.get(key)
+        if cached is not MISS:
+            return cached
+        self = object.__new__(cls)
         self.expr = e
         self.op = op
         self.integer = integer
-        self._hash = hash((self.expr, self.op, self.integer))
-        self._negated: "Relation | None" = None
+        self._hash = hash(key)
+        self._negated = None
+        _INTERN.put(key, self)
+        return self
+
+    def __reduce__(self):
+        # _normalize is idempotent, so round-tripping the canonical triple
+        # through the interning constructor reproduces the same relation
+        # (and never mutates a shared interned instance, which the default
+        # slot-state protocol would).
+        return (Relation, (self.expr, self.op, self.integer))
 
     # -- constructors (a op b forms) -------------------------------------------
 
@@ -265,6 +289,8 @@ class Relation:
     # -- identity ----------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Relation)
             and self.op is other.op

@@ -6,6 +6,14 @@ variables raised to positive integer powers; the empty monomial is the
 constant term.  Monomials are immutable, hashable, and totally ordered so
 that expressions have a canonical printed form and deterministic iteration
 order.
+
+Monomials are **hash-consed**: construction interns instances in a
+bounded LRU table keyed by the canonical factor tuple, so repeated
+construction of the same monomial is a dict hit returning the existing
+object and equality can short-circuit on identity.  Eviction only drops
+the canonical-representative status — a re-created monomial is a new but
+structurally equal object, and every consumer falls back to structural
+equality, so bounded interning is invisible to results.
 """
 
 from __future__ import annotations
@@ -13,7 +21,14 @@ from __future__ import annotations
 from functools import total_ordering
 from typing import Iterable, Iterator, Mapping, Tuple
 
+from ..perf.profiler import MISS, BoundedCache
+
 _Factor = Tuple[str, int]
+
+#: canonical factor tuple → the interned instance
+_INTERN = BoundedCache("monomial.intern", maxsize=16384)
+#: (m1, m2) → m1 * m2 (skips the merge-and-sort on repeats)
+_MUL_CACHE = BoundedCache("monomial.mul", maxsize=16384)
 
 
 @total_ordering
@@ -26,15 +41,28 @@ class Monomial:
 
     __slots__ = ("_factors", "_hash")
 
-    def __init__(self, factors: Iterable[_Factor] = ()) -> None:
+    def __new__(cls, factors: Iterable[_Factor] = ()) -> "Monomial":
         merged: dict[str, int] = {}
         for name, power in factors:
             if power < 0:
                 raise ValueError(f"negative power for {name!r}")
             if power:
                 merged[name] = merged.get(name, 0) + power
-        self._factors: Tuple[_Factor, ...] = tuple(sorted(merged.items()))
-        self._hash = hash(self._factors)
+        key: Tuple[_Factor, ...] = tuple(sorted(merged.items()))
+        cached = _INTERN.get(key)
+        if cached is not MISS:
+            return cached
+        self = object.__new__(cls)
+        self._factors = key
+        self._hash = hash(key)
+        _INTERN.put(key, self)
+        return self
+
+    def __reduce__(self):
+        # Route unpickling through __new__ so deserialized monomials are
+        # interned too (default slot-state pickling would mutate whatever
+        # instance __new__ returned — never acceptable on shared objects).
+        return (Monomial, (self._factors,))
 
     @classmethod
     def unit(cls) -> "Monomial":
@@ -84,11 +112,15 @@ class Monomial:
     def __mul__(self, other: "Monomial") -> "Monomial":
         if not isinstance(other, Monomial):
             return NotImplemented
-        if self.is_unit():
+        if not self._factors:
             return other
-        if other.is_unit():
+        if not other._factors:
             return self
-        return Monomial(self._factors + other._factors)
+        key = (self, other)
+        cached = _MUL_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        return _MUL_CACHE.put(key, Monomial(self._factors + other._factors))
 
     def divide_by_var(self, name: str) -> "Monomial":
         """Divide out one power of *name*; raises if absent."""
@@ -119,6 +151,8 @@ class Monomial:
         return (self.degree(), self._factors)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Monomial) and self._factors == other._factors
 
     def __lt__(self, other: "Monomial") -> bool:

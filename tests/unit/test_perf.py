@@ -1,0 +1,161 @@
+"""Unit tests for the profiling substrate (repro.perf.profiler)."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.perf import profiler
+from repro.perf.profiler import MISS, BoundedCache
+from repro.symbolic import Monomial, Predicate, Relation, RelOp, SymExpr
+
+
+def _cache(name: str, maxsize: int = 4) -> BoundedCache:
+    # unregistered so tests cannot pollute the global registry
+    return BoundedCache(name, maxsize=maxsize, register=False)
+
+
+class TestBoundedCache:
+    def test_miss_then_hit(self):
+        c = _cache("t")
+        assert c.get("k") is MISS
+        c.put("k", 42)
+        assert c.get("k") == 42
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_none_is_a_legitimate_value(self):
+        c = _cache("t")
+        c.put("k", None)
+        assert c.get("k") is None
+        assert c.hits == 1
+
+    def test_put_returns_value(self):
+        c = _cache("t")
+        assert c.put("k", "v") == "v"
+
+    def test_lru_eviction_order(self):
+        c = _cache("t", maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a; b is now LRU
+        c.put("c", 3)
+        assert c.get("b") is MISS
+        assert c.get("a") == 1
+        assert c.get("c") == 3
+        assert c.evictions == 1
+
+    def test_clear_keeps_counters(self):
+        c = _cache("t")
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0
+        assert c.hits == 1
+        assert c.get("a") is MISS
+
+    def test_resize_evicts_down(self):
+        c = _cache("t", maxsize=4)
+        for i in range(4):
+            c.put(i, i)
+        c.resize(2)
+        assert len(c) == 2
+        assert c.evictions == 2
+        # the most recently used entries survive
+        assert c.get(3) == 3 and c.get(2) == 2
+
+    def test_stats_shape(self):
+        c = _cache("t")
+        c.put("a", 1)
+        c.get("a")
+        c.get("b")
+        assert c.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1,
+        }
+
+
+class TestRegistryAndSnapshot:
+    def test_symbolic_caches_registered(self):
+        names = set(profiler.caches())
+        # the tentpole tables must all report through the registry
+        for expected in (
+            "monomial.intern",
+            "symexpr.intern",
+            "relation.intern",
+            "comparer.prove",
+            "fm.unsat",
+            "predicate.conj",
+        ):
+            assert expected in names
+
+    def test_snapshot_delta_is_flat_and_numeric(self):
+        before = profiler.snapshot()
+        # force some traffic
+        SymExpr.var("snapshot_test") + 1
+        after = profiler.snapshot()
+        d = profiler.delta(before, after)
+        assert all(isinstance(v, (int, float)) for v in d.values())
+        assert all(isinstance(k, str) for k in d)
+        # delta drops zero entries
+        assert profiler.delta(after, after) == {}
+
+    def test_counters_reset(self):
+        profiler.COUNTERS.prove_calls += 5
+        profiler.reset()
+        assert profiler.COUNTERS.prove_calls == 0
+
+
+class TestTimers:
+    def test_disabled_records_nothing(self):
+        profiler.reset_timers()
+        calls = []
+
+        @profiler.timed("unit_test_phase")
+        def work():
+            calls.append(1)
+            return 7
+
+        profiler.disable()
+        assert work() == 7
+        assert "unit_test_phase" not in profiler.timers()
+
+        profiler.enable()
+        try:
+            assert work() == 7
+            t = profiler.timers()["unit_test_phase"]
+            assert t["calls"] == 1 and t["seconds"] >= 0
+        finally:
+            profiler.disable()
+            profiler.reset_timers()
+        assert calls == [1, 1]
+
+
+class TestInternedPickling:
+    """Interned symbolic objects must unpickle through their interning
+    constructors — never by mutating a shared instance's slots."""
+
+    def test_monomial_roundtrip_is_interned(self):
+        m = Monomial.var("i", 2) * Monomial.var("j")
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone == m
+        # same process, live intern table: identical object
+        assert clone is Monomial(m.factors)
+
+    def test_unit_monomial_not_corrupted(self):
+        unit = Monomial.unit()
+        factors_before = unit.factors
+        pickle.loads(pickle.dumps(Monomial.var("k")))
+        assert Monomial.unit().factors == factors_before == ()
+
+    def test_symexpr_roundtrip(self):
+        e = SymExpr.var("i") * 3 + SymExpr.var("j") - 7
+        clone = pickle.loads(pickle.dumps(e))
+        assert clone == e and hash(clone) == hash(e)
+
+    def test_relation_roundtrip(self):
+        r = Relation(SymExpr.var("i") - SymExpr.var("n"), RelOp.LE)
+        clone = pickle.loads(pickle.dumps(r))
+        assert clone == r and clone.op is r.op
+
+    def test_predicate_roundtrip(self):
+        p = Predicate.le("i", "n") & Predicate.ge("i", 1)
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone == p
