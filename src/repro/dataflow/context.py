@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..regions import GARList
+from ..resilience.budget import AnalysisBudget
 from ..symbolic import Comparer, SymExpr
 
 
@@ -34,10 +35,22 @@ class AnalysisOptions:
     #: closed forms for subscript arrays (paper section 6): pairs of
     #: (array name, expression over convert.subscript_placeholder)
     index_array_forms: Tuple[Tuple[str, SymExpr], ...] = ()
+    #: analysis budget: wall-clock deadline per compile (None = unlimited)
+    budget_ms: Optional[float] = None
+    #: analysis budget: abstract symbolic-kernel steps (None = unlimited)
+    budget_steps: Optional[int] = None
 
     def comparer(self) -> Comparer:
         """A comparer configured per the option toggles."""
         return Comparer(use_fm=self.use_fm, symbolic=self.symbolic)
+
+    def budget(self) -> Optional[AnalysisBudget]:
+        """A fresh budget per the limits, or None when unlimited."""
+        if self.budget_ms is None and self.budget_steps is None:
+            return None
+        return AnalysisBudget(
+            budget_ms=self.budget_ms, max_steps=self.budget_steps
+        )
 
     @classmethod
     def all_on(cls) -> "AnalysisOptions":
@@ -73,6 +86,10 @@ class LoopSummaryRecord:
     #: conservative flags
     has_premature_exit: bool = False
     negative_step: bool = False
+    #: non-None when this record is a budget-exhaustion fallback: the
+    #: reason string ("budget", "deadline", "steps") — the sets are the
+    #: conservative declared-bounds over-approximation, not real analysis
+    degraded: Optional[str] = None
 
     def __str__(self) -> str:
         return (
@@ -95,6 +112,9 @@ class AnalysisStats:
     loops_summarized: int = 0
     routines_summarized: int = 0
     peak_gar_list: int = 0
+    #: budget-exhaustion fallbacks taken (loops/calls degraded to the
+    #: conservative whole-array summary)
+    budget_degradations: int = 0
     #: symbolic-kernel counter/cache deltas attributed to this compile
     #: (flat ``repro.perf`` snapshot keys → numbers); filled by the
     #: pipeline driver so ``panorama --json`` can expose them

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import BudgetExceeded
 from ..fortran.ast_nodes import Apply, Expr, NameRef
 from ..hsg.nodes import CallNode
 from ..perf.profiler import COUNTERS, timed
 from ..regions import GAR, GARList
+from ..resilience.budget import charge as _budget_charge
 from ..regions.gar_ops import subtract_lists, union_lists
 from ..symbolic import SymExpr
 from .convert import ConversionContext, to_symexpr
@@ -53,12 +55,30 @@ def transfer_call(
     return Summary(mod_in, ue_in)
 
 
-@timed("sum_call")
 def summarize_call(
     analyzer, node: CallNode, ctx: ConversionContext
 ) -> Summary:
-    """The call's own (MOD, UE) contribution, in caller terms."""
+    """The call's own (MOD, UE) contribution, in caller terms.
+
+    When the analysis budget runs out while summarizing (or mapping) the
+    callee, degrades to the opaque-call treatment — arrays passed or in
+    COMMON become Ω — exactly the conservative summary the T3 ablation
+    uses, instead of propagating the failure.
+    """
+    try:
+        return _summarize_call_exact(analyzer, node, ctx)
+    except BudgetExceeded:
+        analyzer.stats.budget_degradations += 1
+        COUNTERS.budget_fallbacks += 1
+        return _opaque_call(node, ctx)
+
+
+@timed("sum_call")
+def _summarize_call_exact(
+    analyzer, node: CallNode, ctx: ConversionContext
+) -> Summary:
     COUNTERS.sum_call_calls += 1
+    _budget_charge(1)
     callee = node.callee
     known = callee in analyzer.hsg.analyzed.unit_names()
     if not analyzer.options.interprocedural or not known:

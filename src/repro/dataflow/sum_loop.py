@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import itertools
 
+from ..errors import BudgetExceeded
 from ..hsg.nodes import LoopNode
 from ..perf.profiler import COUNTERS, timed
+from ..resilience.budget import charge as _budget_charge
 from ..regions import GARList
 from ..regions.gar_ops import subtract_lists, union_lists
 from ..symbolic import SymExpr
@@ -44,6 +46,151 @@ from .expansion import expand_gar_list
 from .summary import Summary, collect_uses, scalar_gar
 
 _index_renames = itertools.count(1)
+
+
+# --------------------------------------------------------------------------- #
+# budget-exhaustion fallback (the paper's conservative whole-array summary)
+# --------------------------------------------------------------------------- #
+
+
+def _referenced_names(loop: LoopNode) -> set[str]:
+    """Every name referenced anywhere in the loop (structural walk).
+
+    Used only by the conservative fallback, which may not run symbolic
+    machinery: a plain recursive walk over the body's HSG nodes and their
+    AST statements, collecting ``NameRef``/``Apply`` names, call
+    arguments, and nested loop indices/bounds.  Over-collection is fine
+    (the fallback over-approximates anyway); under-collection is not.
+    """
+    import dataclasses
+
+    from ..fortran.ast_nodes import Apply, Expr, NameRef, Stmt
+    from ..hsg.nodes import (
+        BasicBlockNode,
+        CallNode,
+        IfConditionNode,
+        LoopNode as _Loop,
+    )
+
+    names: set[str] = set()
+
+    def walk(obj) -> None:
+        if isinstance(obj, (NameRef, Apply)):
+            names.add(obj.name)
+        if isinstance(obj, (Expr, Stmt)):
+            for f in dataclasses.fields(obj):
+                walk(getattr(obj, f.name))
+        elif isinstance(obj, (list, tuple)):
+            for child in obj:
+                walk(child)
+
+    def walk_graph(graph) -> None:
+        for node in graph.nodes:
+            if isinstance(node, BasicBlockNode):
+                for stmt in node.stmts:
+                    walk(stmt)
+            elif isinstance(node, IfConditionNode):
+                walk(node.cond)
+            elif isinstance(node, CallNode):
+                walk(node.call.args)
+            elif isinstance(node, _Loop):
+                names.add(node.var)
+                for expr in (node.start, node.stop, node.step):
+                    if expr is not None:
+                        walk(expr)
+                walk_graph(node.body)
+
+    walk_graph(loop.body)
+    return names
+
+
+def declared_bounds_gar(table, name: str, ctx: ConversionContext):
+    """The whole-array GAR of *name* over its declared bounds.
+
+    Guard ``true``, region spanning each declared dimension; dimensions
+    whose bounds do not convert (assumed-size ``(*)``, nonlinear bounds)
+    become Ω.  Always marked inexact: it is an over-approximation and
+    must never kill.
+    """
+    from ..regions import GAR
+    from ..regions.ranges import Range
+    from ..regions.region import OMEGA_DIM, RegularRegion
+    from ..symbolic import Predicate
+
+    info = table.arrays[name]
+    dims = []
+    for lo_expr, hi_expr in info.bounds:
+        lo = (
+            to_symexpr(lo_expr, ctx)
+            if lo_expr is not None
+            else SymExpr.const(1)
+        )
+        hi = to_symexpr(hi_expr, ctx) if hi_expr is not None else None
+        if lo is None or hi is None:
+            dims.append(OMEGA_DIM)
+        else:
+            dims.append(Range(lo, hi, 1))
+    return GAR(Predicate.true(), RegularRegion(name, dims), exact=False)
+
+
+def conservative_loop_record(
+    analyzer, loop: LoopNode, ctx: ConversionContext, reason: str = "budget"
+) -> LoopSummaryRecord:
+    """The budget-exhaustion fallback record for *loop*.
+
+    Every array referenced in (or below) the loop contributes its whole
+    declared-bounds region to MOD and UE; every scalar contributes its
+    cell.  All sets are inexact over-approximations (they never kill), so
+    downstream clients stay sound: the privatizer finds nothing
+    privatizable, the dependence tests find everything conflicting, and
+    the classifier reports the loop ``unknown (budget)``.
+    """
+    table = ctx.table
+    known_units = set(analyzer.hsg.analyzed.unit_names())
+    from ..fortran.semantics import INTRINSICS
+
+    gars = []
+    referenced = _referenced_names(loop) | {loop.var}
+    for names in table.commons.values():
+        referenced.update(names)  # callees may touch any COMMON storage
+    for name in sorted(referenced):
+        if table.is_array(name):
+            gars.append(declared_bounds_gar(table, name, ctx))
+        elif (
+            name in INTRINSICS
+            or name in table.externals
+            or name in table.parameters
+            or name in known_units
+        ):
+            continue  # functions and compile-time constants: no storage
+        else:
+            gars.append(scalar_gar(name).inexact())
+    everything = GARList(gars)
+    lo = to_symexpr(loop.start, ctx)
+    hi = to_symexpr(loop.stop, ctx)
+    step = (
+        to_symexpr(loop.step, ctx)
+        if loop.step is not None
+        else SymExpr.const(1)
+    )
+    analyzer.stats.budget_degradations += 1
+    COUNTERS.budget_fallbacks += 1
+    return LoopSummaryRecord(
+        routine=table.unit.name,
+        var=loop.var,
+        lo=lo if lo is not None else ctx.fresh_opaque("lo"),
+        hi=hi if hi is not None else ctx.fresh_opaque("hi"),
+        step=step if step is not None else ctx.fresh_opaque("step"),
+        mod_i=everything,
+        ue_i=everything,
+        mod_lt=everything,
+        mod_gt=everything,
+        mod=everything,
+        ue=everything,
+        has_premature_exit=loop.has_premature_exit,
+        negative_step=False,
+        degraded=reason,
+    )
 
 
 def fix_iteration_varying(
@@ -229,12 +376,27 @@ def _omega_out_symbol(gars: GARList, name: str) -> GARList:
     return GARList(out)
 
 
-@timed("sum_loop")
 def summarize_loop(
     analyzer, loop: LoopNode, ctx: ConversionContext
 ) -> LoopSummaryRecord:
-    """Compute the full :class:`LoopSummaryRecord` for *loop*."""
+    """Compute the full :class:`LoopSummaryRecord` for *loop*.
+
+    When the analysis budget runs out mid-computation, degrades to the
+    conservative whole-array record instead of propagating the failure —
+    the paper's contract: never crash, fall back to the safe summary.
+    """
+    try:
+        return _summarize_loop_exact(analyzer, loop, ctx)
+    except BudgetExceeded as exc:
+        return conservative_loop_record(analyzer, loop, ctx, exc.reason)
+
+
+@timed("sum_loop")
+def _summarize_loop_exact(
+    analyzer, loop: LoopNode, ctx: ConversionContext
+) -> LoopSummaryRecord:
     COUNTERS.sum_loop_calls += 1
+    _budget_charge(1)
     cmp = analyzer.comparer
     inner_ctx = ctx.with_index(loop.var)
     body = analyzer.sum_segment(loop.body, inner_ctx)

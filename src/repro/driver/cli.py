@@ -71,6 +71,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "timers plus cache hit/miss counters after the verdicts",
     )
     parser.add_argument(
+        "--budget-ms",
+        type=float,
+        metavar="MS",
+        help="analysis deadline; on exhaustion remaining loops degrade "
+        "to conservative 'unknown (budget)' verdicts (exit 3)",
+    )
+    parser.add_argument(
+        "--budget-steps",
+        type=int,
+        metavar="N",
+        help="symbolic step budget (deterministic analogue of --budget-ms)",
+    )
+    parser.add_argument(
         "--version",
         action="version",
         version=_version_string(),
@@ -97,11 +110,15 @@ def main(argv: list[str] | None = None) -> int:
         if_conditions="T2" not in args.ablate,
         interprocedural="T3" not in args.ablate,
         use_fm=not args.no_fm,
+        budget_ms=args.budget_ms,
+        budget_steps=args.budget_steps,
     )
     if args.profile:
         profiler.enable()
     panorama = Panorama(options, run_machine_model=not args.no_machine)
     result = panorama.compile(source)
+    # 3 = degraded-but-complete: some verdicts are budget fallbacks
+    exit_code = 3 if result.degraded_loops() else 0
 
     if args.json:
         # same serializer the batch engine ships results with
@@ -114,7 +131,7 @@ def main(argv: list[str] | None = None) -> int:
                 sort_keys=True,
             )
         )
-        return 0
+        return exit_code
 
     if args.dump_hsg:
         for unit in result.program.units:
@@ -162,7 +179,13 @@ def main(argv: list[str] | None = None) -> int:
 
         print()
         print(annotate(result, style=args.emit))
-    return 0
+    if exit_code == 3:
+        print(
+            f"panorama: {len(result.degraded_loops())} loop verdict(s) "
+            "degraded by budget exhaustion (exit 3)",
+            file=sys.stderr,
+        )
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

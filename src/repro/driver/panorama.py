@@ -16,7 +16,10 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..dataflow import AnalysisOptions, SummaryAnalyzer
+from ..errors import BudgetExceeded
 from ..perf import profiler
+from ..resilience import budget as budgets
+from ..resilience import faults
 from ..deptest.ddg import ScreenReport, ScreenVerdict, screen_loop
 from ..fortran import AnalyzedProgram, Program, analyze, parse_program
 from ..hsg import HSG, LoopNode, build_hsg
@@ -44,10 +47,13 @@ class LoopReport:
     pct_sequential: float = 0.0
     #: last-value copy-out decisions for the privatized arrays (3.2.1)
     copy_out: list[CopyOutDecision] = field(default_factory=list)
+    #: non-None when the verdict is a budget-exhaustion degradation:
+    #: "budget" | "deadline" | "steps"
+    degraded: Optional[str] = None
 
     @property
     def parallel(self) -> bool:
-        return self.status is not LoopStatus.SERIAL
+        return self.status not in (LoopStatus.SERIAL, LoopStatus.UNKNOWN)
 
     def loop_id(self) -> str:
         """Display id like ``"interf/1000"``."""
@@ -95,6 +101,10 @@ class CompilationResult:
     def parallel_loops(self) -> list[LoopReport]:
         """Reports of the loops found parallel."""
         return [r for r in self.loops if r.parallel]
+
+    def degraded_loops(self) -> list[LoopReport]:
+        """Reports whose verdict is a budget-exhaustion degradation."""
+        return [r for r in self.loops if r.degraded is not None]
 
     def summary_line(self) -> str:
         """One-line result summary."""
@@ -160,9 +170,13 @@ class Panorama:
             self.hooks.attach(analyzer, hsg)
         result = CompilationResult(program, analyzed, hsg, analyzer, timings=timings)
 
-        for unit_name, loop in hsg.all_loops():
-            report = self._process_loop(analyzer, unit_name, loop, timings)
-            result.loops.append(report)
+        budget = self.options.budget()
+        if faults.should_fire("budget.exhaust"):
+            budget = budgets.AnalysisBudget(max_steps=0)
+        with budgets.budget_scope(budget):
+            for unit_name, loop in hsg.all_loops():
+                report = self._process_loop(analyzer, unit_name, loop, timings)
+                result.loops.append(report)
 
         if self.run_machine_model:
             t0 = time.perf_counter()
@@ -184,10 +198,18 @@ class Panorama:
         for idx in analyzer.enclosing_indices(unit_name, loop):
             ctx = ctx.with_index(idx)
         t0 = time.perf_counter()
-        if self.run_conventional:
-            screen = screen_loop(loop, ctx, analyzer.comparer)
-        else:
-            screen = ScreenReport(ScreenVerdict.POSSIBLE_DEPENDENCE)
+        try:
+            # one step per loop: gives deadline budgets a per-loop
+            # checkpoint even when the loop never reaches the symbolic
+            # kernels, and makes max_steps=0 degrade everything
+            budgets.charge(1)
+            if self.run_conventional:
+                screen = screen_loop(loop, ctx, analyzer.comparer)
+            else:
+                screen = ScreenReport(ScreenVerdict.POSSIBLE_DEPENDENCE)
+        except BudgetExceeded as exc:
+            timings.conventional += time.perf_counter() - t0
+            return self._degraded_report(analyzer, unit_name, loop, exc)
         timings.conventional += time.perf_counter() - t0
 
         if (
@@ -205,22 +227,28 @@ class Panorama:
                 used_dataflow=False,
             )
         t0 = time.perf_counter()
-        verdict = classify_loop(analyzer, unit_name, loop)
-        copy_out: list[CopyOutDecision] = []
-        if verdict.privatized and verdict.record is not None:
-            below = analyzer.below_summary(unit_name, loop)
-            table = analyzer.hsg.analyzed.table(unit_name)
-            for name in verdict.privatized:
-                if not table.is_array(name):
-                    continue
-                copy_out.append(
-                    copy_out_needed(
-                        name,
-                        verdict.record.mod,
-                        below.ue,
-                        analyzer.comparer,
+        try:
+            verdict = classify_loop(analyzer, unit_name, loop)
+            copy_out: list[CopyOutDecision] = []
+            if verdict.privatized and verdict.record is not None:
+                below = analyzer.below_summary(unit_name, loop)
+                table = analyzer.hsg.analyzed.table(unit_name)
+                for name in verdict.privatized:
+                    if not table.is_array(name):
+                        continue
+                    copy_out.append(
+                        copy_out_needed(
+                            name,
+                            verdict.record.mod,
+                            below.ue,
+                            analyzer.comparer,
+                        )
                     )
-                )
+        except BudgetExceeded as exc:
+            timings.dataflow += time.perf_counter() - t0
+            return self._degraded_report(
+                analyzer, unit_name, loop, exc, screen=screen
+            )
         timings.dataflow += time.perf_counter() - t0
         return LoopReport(
             routine=unit_name,
@@ -232,6 +260,30 @@ class Panorama:
             status=verdict.status,
             used_dataflow=True,
             copy_out=copy_out,
+            degraded=verdict.record.degraded if verdict.record else None,
+        )
+
+    def _degraded_report(
+        self,
+        analyzer: SummaryAnalyzer,
+        unit_name: str,
+        loop: LoopNode,
+        exc: BudgetExceeded,
+        screen: ScreenReport | None = None,
+    ) -> LoopReport:
+        """Budget ran out outside the SUM_* fallbacks: conservative verdict."""
+        analyzer.stats.budget_degradations += 1
+        profiler.COUNTERS.budget_fallbacks += 1
+        return LoopReport(
+            routine=unit_name,
+            var=loop.var,
+            source_label=loop.source_label,
+            lineno=loop.lineno,
+            screen=screen or ScreenReport(ScreenVerdict.POSSIBLE_DEPENDENCE),
+            verdict=None,
+            status=LoopStatus.UNKNOWN,
+            used_dataflow=True,
+            degraded=exc.reason,
         )
 
     def _apply_machine_model(self, result: CompilationResult) -> None:

@@ -13,6 +13,10 @@ this package makes repeated and bulk analysis cheap in practice:
 * :mod:`repro.engine.telemetry` — counters, roll-ups, and the JSON
   serializers shared with ``panorama --json``;
 * :mod:`repro.engine.cli` — the ``panorama-batch`` entry point.
+
+The batch pool is supervised (per-item timeouts, retries with seeded
+backoff, pool rebuild on worker crash, quarantine): see
+``docs/robustness.md`` for the full degradation ladder.
 """
 
 from .batch import (
@@ -25,6 +29,7 @@ from .batch import (
 )
 from .cache import (
     CACHE_FORMAT_VERSION,
+    DISK_MAGIC,
     CacheStats,
     CachingHooks,
     RoutineCacheEntry,
@@ -50,6 +55,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheStats",
     "CachingHooks",
+    "DISK_MAGIC",
     "EngineTelemetry",
     "IncrementalEngine",
     "IncrementalReport",

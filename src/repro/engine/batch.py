@@ -13,19 +13,34 @@ Workers return *serialized* verdict rows (the same dicts ``panorama
 --json`` prints) plus their cache delta — the fingerprints they wrote to
 the shared disk tier — which the parent merges back into its own memory
 tier, so a follow-up in-process run is warm without touching disk.
+
+The pool is *supervised* (docs/robustness.md): every item carries a
+typed error kind instead of a bare traceback, futures get per-item
+wall-clock deadlines, failed items are retried with exponential backoff
+and seeded jitter, a crashed or hung worker takes down only its item
+(the pool is rebuilt and in-flight innocents are re-dispatched without
+an attempt penalty), and an item that keeps failing is quarantined so
+one poison input can never stall the batch.  A batch therefore always
+terminates with a complete :class:`BatchReport`.
 """
 
 from __future__ import annotations
 
+import os
+import random
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from ..dataflow.context import AnalysisOptions
 from ..driver.panorama import Panorama
+from ..errors import FAULT_ERROR_KINDS, HARD_ERROR_KINDS, classify_exception
+from ..resilience import faults
 from .cache import CacheStats, CachingHooks, SummaryCache
 from .telemetry import EngineTelemetry, result_to_dict
 
@@ -75,10 +90,36 @@ class BatchItemResult:
     reused_routines: list[str] = field(default_factory=list)
     computed_routines: list[str] = field(default_factory=list)
     error: Optional[str] = None
+    #: typed taxonomy of the failure (repro.errors.classify_exception):
+    #: "source" | "analysis" | "internal" | "timeout" | "worker-crash" |
+    #: "oom" | "budget"; None when ok
+    error_kind: Optional[str] = None
+    #: how many times the item was dispatched (retries included)
+    attempts: int = 1
+    #: True when the item used up max_attempts and was set aside
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def degraded(self) -> bool:
+        """Did resilience machinery (not clean analysis) shape this result?
+
+        True for fault-kind failures (timeout, crash, OOM), for
+        quarantined items, and for successful items whose verdicts
+        include budget-exhaustion fallbacks.
+        """
+        if self.quarantined:
+            return True
+        if not self.ok:
+            return self.error_kind in FAULT_ERROR_KINDS
+        if self.payload is None:
+            return False
+        if self.payload.get("stats", {}).get("budget_degradations"):
+            return True
+        return any(r.get("degraded") for r in self.payload.get("loops", []))
 
     def rows(self) -> list[dict[str, Any]]:
         """The per-loop verdict rows (empty on error)."""
@@ -91,6 +132,9 @@ class BatchReport:
 
     results: list[BatchItemResult]
     telemetry: EngineTelemetry
+    #: every input item has a result (the supervisor guarantees this;
+    #: False would mean the engine itself lost items)
+    complete: bool = True
 
     def result(self, name: str) -> BatchItemResult:
         for r in self.results:
@@ -106,6 +150,33 @@ class BatchReport:
     def ok(self) -> bool:
         return all(r.ok for r in self.results)
 
+    @property
+    def degraded(self) -> bool:
+        return any(r.degraded for r in self.results)
+
+    def hard_failures(self) -> list[BatchItemResult]:
+        """Failures that are *not* resilience degradations: bad source,
+        analysis bugs, unclassified crashes."""
+        return [
+            r
+            for r in self.results
+            if not r.ok
+            and (r.error_kind is None or r.error_kind in HARD_ERROR_KINDS)
+        ]
+
+    def exit_code(self) -> int:
+        """Process exit status: 0 clean, 3 degraded-but-complete, 1 hard.
+
+        The distinction lets callers script around flaky infrastructure
+        (3 = every item has a typed verdict or typed failure, some were
+        degraded) versus real input/analysis errors (1).
+        """
+        if not self.complete or self.hard_failures():
+            return 1
+        if self.degraded or not self.ok:
+            return 3
+        return 0
+
 
 # --------------------------------------------------------------------------- #
 # the worker body (top level: must be picklable by the process pool)
@@ -118,9 +189,26 @@ def _analyze_item(
     cache_dir: Optional[str],
     run_machine_model: bool,
     cache: Optional[SummaryCache] = None,
+    attempt: int = 1,
 ) -> BatchItemResult:
-    """Analyze one item with a cache-wired pipeline; never raises."""
+    """Analyze one item with a cache-wired pipeline.
+
+    Never raises for analysis failures — every exception comes back as a
+    typed :class:`BatchItemResult` — but interrupt-style exceptions
+    (KeyboardInterrupt, SystemExit) are re-raised so Ctrl-C still stops
+    a batch, and MemoryError is reported as kind ``"oom"`` rather than
+    being formatted into a traceback (formatting may itself re-raise).
+    """
+    # fault-injection sites (no-ops unless a plan is installed); the
+    # attempt number is the occurrence so an "@1" worker fault fires on
+    # the first dispatch only, even from a freshly respawned worker
+    if faults.should_fire("worker.crash", key=item.name, occurrence=attempt):
+        os._exit(86)
     try:
+        if faults.should_fire("item.hang", key=item.name, occurrence=attempt):
+            time.sleep(faults.HANG_SECONDS)
+        if faults.should_fire("item.error", key=item.name, occurrence=attempt):
+            raise RuntimeError(f"injected fault: item.error {item.name}")
         own_cache = cache if cache is not None else SummaryCache(cache_dir)
         before = own_cache.stats.copy()
         hooks = CachingHooks(own_cache)
@@ -138,14 +226,31 @@ def _analyze_item(
             stored_fingerprints=list(hooks.stored_fingerprints),
             reused_routines=sorted(hooks.reused),
             computed_routines=sorted(hooks.computed),
+            attempts=attempt,
         )
-    except Exception:
-        return BatchItemResult(name=item.name, error=traceback.format_exc())
+    except (KeyboardInterrupt, SystemExit, GeneratorExit):
+        raise
+    except MemoryError:
+        return BatchItemResult(
+            name=item.name,
+            error="MemoryError during analysis",
+            error_kind="oom",
+            attempts=attempt,
+        )
+    except BaseException as exc:
+        return BatchItemResult(
+            name=item.name,
+            error=traceback.format_exc(),
+            error_kind=classify_exception(exc),
+            attempts=attempt,
+        )
 
 
 def _worker_main(args: tuple) -> BatchItemResult:
-    item, options, cache_dir, run_machine_model = args
-    return _analyze_item(item, options, cache_dir, run_machine_model)
+    item, options, cache_dir, run_machine_model, attempt = args
+    return _analyze_item(
+        item, options, cache_dir, run_machine_model, attempt=attempt
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -171,17 +276,43 @@ class BatchEngine:
         jobs: int = 1,
         run_machine_model: bool = True,
         max_memory_entries: int = 512,
+        timeout_per_item: float | None = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.05,
+        retry_seed: int = 0,
     ) -> None:
         self.options = options or AnalysisOptions()
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.jobs = max(1, jobs)
         self.run_machine_model = run_machine_model
         self.cache = SummaryCache(self.cache_dir, max_memory_entries)
+        #: wall-clock seconds before an in-flight item is declared hung
+        #: (pool mode only; None = wait forever)
+        self.timeout_per_item = timeout_per_item
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base = backoff_base
+        #: seed for the retry-backoff jitter (deterministic chaos runs)
+        self.retry_seed = retry_seed
+        #: supervision counters of the most recent run (rolled into the
+        #: report's EngineTelemetry)
+        self.supervision: dict[str, int] = {}
 
     def run(self, items: Sequence[BatchItem]) -> BatchReport:
         """Analyze every item; results come back in input order."""
         t0 = time.perf_counter()
-        if self.jobs == 1 or len(items) <= 1:
+        self.supervision = {
+            "retries": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+            "pool_rebuilds": 0,
+            "quarantined": 0,
+        }
+        # timeouts need process isolation: a hung item can only be killed
+        # from outside, so supervision forces the pool even for one item
+        supervised = self.jobs > 1 and (
+            len(items) > 1 or self.timeout_per_item is not None
+        )
+        if not supervised:
             results = [
                 _analyze_item(
                     item,
@@ -194,7 +325,12 @@ class BatchEngine:
             ]
         else:
             results = self._run_pool(items)
-        report = BatchReport(results=results, telemetry=EngineTelemetry())
+        complete = len(results) == len(items) and all(
+            r is not None for r in results
+        )
+        report = BatchReport(
+            results=results, telemetry=EngineTelemetry(), complete=complete
+        )
         tele = report.telemetry
         tele.jobs = self.jobs
         tele.wall_seconds = time.perf_counter() - t0
@@ -204,6 +340,10 @@ class BatchEngine:
             else:
                 tele.errors += 1
             tele.note_cache(res.cache_stats)
+            if res.degraded:
+                tele.resilience["degraded_items"] += 1
+        for key, value in self.supervision.items():
+            tele.resilience[key] = tele.resilience.get(key, 0) + value
         return report
 
     def run_paths(self, paths: Iterable[str | Path]) -> BatchReport:
@@ -212,18 +352,210 @@ class BatchEngine:
 
     # -- internals ----------------------------------------------------------------
 
+    def _task(self, item: BatchItem, attempt: int) -> tuple:
+        return (
+            item,
+            self.options,
+            self.cache_dir,
+            self.run_machine_model,
+            attempt,
+        )
+
+    @staticmethod
+    def _teardown_pool(pool: ProcessPoolExecutor) -> None:
+        """Stop a pool that may contain hung workers.
+
+        ``shutdown`` alone would join the workers and block forever on a
+        hung one, so the processes are terminated first.
+        """
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def _run_pool(self, items: Sequence[BatchItem]) -> list[BatchItemResult]:
-        tasks = [
-            (item, self.options, self.cache_dir, self.run_machine_model)
-            for item in items
-        ]
+        """Supervised fan-out: deadlines, retries, pool rebuilds.
+
+        State machine per item: *ready* → in-flight → (result | retry
+        with backoff | quarantine).  The loop ends only when every item
+        has a result, so the batch can never deadlock on a lost item.
+        """
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_worker_main, tasks))
+        results: list[Optional[BatchItemResult]] = [None] * len(items)
+        attempts = [0] * len(items)
+        ready: deque[int] = deque(range(len(items)))
+        delayed: list[tuple[float, int]] = []  # (resume monotonic time, idx)
+        pending: dict[Any, tuple[int, Optional[float]]] = {}
+        rng = random.Random(self.retry_seed)
+        sup = self.supervision
+        pool = ProcessPoolExecutor(max_workers=workers)
+        # probe mode: after a pool breakage the culprit cannot be
+        # attributed, so items are dispatched one at a time until a
+        # worker round-trips successfully — a persistently crashing item
+        # then only ever takes itself down, not in-flight innocents
+        probe = False
+
+        def submit(idx: int) -> None:
+            attempts[idx] += 1
+            fut = pool.submit(_worker_main, self._task(items[idx], attempts[idx]))
+            deadline = (
+                time.monotonic() + self.timeout_per_item
+                if self.timeout_per_item is not None
+                else None
+            )
+            pending[fut] = (idx, deadline)
+
+        def fail(idx: int, kind: str, message: str) -> None:
+            """Record a failed attempt: retry, or produce a final result."""
+            if kind != "source" and attempts[idx] < self.max_attempts:
+                sup["retries"] += 1
+                delay = self.backoff_base * (2 ** (attempts[idx] - 1))
+                delay += rng.uniform(0.0, self.backoff_base)
+                delayed.append((time.monotonic() + delay, idx))
+                return
+            quarantined = kind not in ("source",) and attempts[idx] >= self.max_attempts
+            if quarantined:
+                sup["quarantined"] += 1
+            results[idx] = BatchItemResult(
+                name=items[idx].name,
+                error=message,
+                error_kind=kind,
+                attempts=attempts[idx],
+                quarantined=quarantined,
+            )
+
+        def rebuild_pool() -> ProcessPoolExecutor:
+            sup["pool_rebuilds"] += 1
+            self._teardown_pool(pool)
+            return ProcessPoolExecutor(max_workers=workers)
+
+        while ready or delayed or pending:
+            now = time.monotonic()
+            if delayed:
+                still: list[tuple[float, int]] = []
+                for resume, idx in delayed:
+                    if resume <= now:
+                        ready.append(idx)
+                    else:
+                        still.append((resume, idx))
+                delayed = still
+            while ready and not (probe and pending):
+                idx = ready.popleft()
+                try:
+                    submit(idx)
+                except BrokenProcessPool:
+                    sup["worker_crashes"] += 1
+                    probe = True
+                    fail(
+                        idx,
+                        "worker-crash",
+                        f"worker pool broke submitting {items[idx].name} "
+                        f"(attempt {attempts[idx]})",
+                    )
+                    pool = rebuild_pool()
+            if not pending:
+                # everything is backing off: sleep to the nearest resume
+                if delayed:
+                    time.sleep(max(0.0, min(t for t, _ in delayed) - now))
+                continue
+
+            wait_until: Optional[float] = None
+            for _, deadline in pending.values():
+                if deadline is not None:
+                    wait_until = (
+                        deadline
+                        if wait_until is None
+                        else min(wait_until, deadline)
+                    )
+            for resume, _ in delayed:
+                wait_until = (
+                    resume if wait_until is None else min(wait_until, resume)
+                )
+            timeout = (
+                None if wait_until is None else max(0.0, wait_until - now)
+            )
+            done, _ = wait(
+                set(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+
+            broken = False
+            for fut in done:
+                idx, _ = pending.pop(fut)
+                try:
+                    res = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    sup["worker_crashes"] += 1
+                    fail(
+                        idx,
+                        "worker-crash",
+                        f"worker process died analyzing {items[idx].name} "
+                        f"(attempt {attempts[idx]})",
+                    )
+                except Exception as exc:  # pickling errors etc.
+                    fail(idx, classify_exception(exc), repr(exc))
+                else:
+                    # the worker round-tripped: crashes are attributable
+                    # again, leave probe mode
+                    probe = False
+                    if res.ok:
+                        results[idx] = res
+                    else:
+                        fail(idx, res.error_kind or "internal", res.error)
+            if broken:
+                # the crash poisons every in-flight future: penalize them
+                # one attempt each (the culprit cannot be attributed) and
+                # re-dispatch through the retry path on a fresh pool
+                probe = True
+                sup["worker_crashes"] += len(pending)
+                for fut, (idx, _) in list(pending.items()):
+                    fail(
+                        idx,
+                        "worker-crash",
+                        f"worker pool broke while {items[idx].name} was "
+                        f"in flight (attempt {attempts[idx]})",
+                    )
+                pending.clear()
+                pool = rebuild_pool()
+                continue
+
+            # deadline sweep: any in-flight item past its budget is hung
+            now = time.monotonic()
+            expired = [
+                (fut, idx)
+                for fut, (idx, deadline) in pending.items()
+                if deadline is not None and now >= deadline
+            ]
+            if expired:
+                sup["timeouts"] += len(expired)
+                expired_ids = set()
+                for fut, idx in expired:
+                    expired_ids.add(idx)
+                    del pending[fut]
+                    fail(
+                        idx,
+                        "timeout",
+                        f"{items[idx].name} exceeded {self.timeout_per_item}s "
+                        f"(attempt {attempts[idx]})",
+                    )
+                # a hung worker cannot be cancelled: rebuild the pool and
+                # re-dispatch the innocent in-flight items at no attempt
+                # cost (their work is lost, not their fault)
+                innocents = [idx for _, (idx, _) in pending.items()]
+                pending.clear()
+                for idx in innocents:
+                    attempts[idx] -= 1
+                    ready.append(idx)
+                pool = rebuild_pool()
+
+        self._teardown_pool(pool)
+        final = [r for r in results if r is not None]
         # merge the workers' cache deltas into this process's memory tier
         if self.cache_dir is not None:
             delta: list[str] = []
-            for res in results:
+            for res in final:
                 delta.extend(res.stored_fingerprints)
             self.cache.adopt(delta)
-        return results
+        return final

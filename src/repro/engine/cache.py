@@ -40,11 +40,19 @@ from ..dataflow.summary import Summary
 from ..fortran.ast_nodes import Program
 from ..fortran.callgraph import CallGraph
 from ..fortran.printers import unparse_unit
+from ..resilience import faults
 
 #: bump when RoutineCacheEntry or the pickled analysis types change shape
 #: (v2: symbolic terms/exprs/relations are hash-consed and pickle through
-#: their interning constructors — v1 pickles carried raw slot state)
-CACHE_FORMAT_VERSION = 2
+#: their interning constructors — v1 pickles carried raw slot state;
+#: v3: disk entries are a checksummed container — magic, SHA-256 of the
+#: payload, then the payload pickle — so torn/corrupt files are detected
+#: before unpickling and quarantined instead of trusted)
+CACHE_FORMAT_VERSION = 3
+
+#: on-disk container magic; the digest that follows covers the payload
+DISK_MAGIC = b"PANC\x03\n"
+_DIGEST_LEN = hashlib.sha256().digest_size
 
 
 # --------------------------------------------------------------------------- #
@@ -62,6 +70,9 @@ def options_key(options: AnalysisOptions) -> str:
     return (
         f"T1={options.symbolic}|T2={options.if_conditions}"
         f"|T3={options.interprocedural}|FM={options.use_fm}|IA={forms}"
+        # budgets change results (exhaustion degrades summaries), so a
+        # budgeted run must never share fingerprints with an unlimited one
+        f"|Bms={options.budget_ms}|Bst={options.budget_steps}"
     )
 
 
@@ -123,6 +134,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     disk_errors: int = 0
+    quarantined: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
@@ -132,6 +144,7 @@ class CacheStats:
         self.stores += other.stores
         self.evictions += other.evictions
         self.disk_errors += other.disk_errors
+        self.quarantined += other.quarantined
 
     def copy(self) -> "CacheStats":
         return CacheStats(**self.as_dict())
@@ -153,6 +166,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "disk_errors": self.disk_errors,
+            "quarantined": self.quarantined,
         }
 
 
@@ -252,21 +266,60 @@ class SummaryCache:
             return None
         return self.cache_dir / fingerprint[:2] / f"{fingerprint}.pkl"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad disk entry aside (``<dir>/quarantine/``) so it is
+        never re-read, re-trusted, or silently overwritten evidence."""
+        self.stats.disk_errors += 1
+        self.stats.quarantined += 1
+        if self.cache_dir is None:
+            return
+        try:
+            qdir = self.cache_dir / "quarantine"
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / f"{path.name}.{reason}")
+        except OSError:
+            # even quarantining can fail (read-only dir): last resort is
+            # deleting the bad entry so it cannot poison later reads
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def _load_from_disk(self, fingerprint: str) -> Optional[RoutineCacheEntry]:
         path = self._path(fingerprint)
         if path is None or not path.exists():
             return None
+        if faults.should_fire("cache.read"):
+            raise OSError(f"injected fault: cache.read {fingerprint[:12]}")
+        if faults.should_fire("cache.corrupt"):
+            # simulate a torn write: clobber the container header in place
+            # so the genuine corruption-detection path runs
+            with path.open("r+b") as fh:
+                fh.write(b"\x00" * len(DISK_MAGIC))
         try:
-            with path.open("rb") as fh:
-                version, entry = pickle.load(fh)
-        except Exception:
-            # a corrupt/foreign file is a miss, never a crash
+            data = path.read_bytes()
+        except OSError:
             self.stats.disk_errors += 1
+            return None
+        if len(data) < len(DISK_MAGIC) + _DIGEST_LEN or not data.startswith(
+            DISK_MAGIC
+        ):
+            self._quarantine(path, "badmagic")
+            return None
+        digest = data[len(DISK_MAGIC) : len(DISK_MAGIC) + _DIGEST_LEN]
+        payload = data[len(DISK_MAGIC) + _DIGEST_LEN :]
+        if hashlib.sha256(payload).digest() != digest:
+            self._quarantine(path, "checksum")
+            return None
+        try:
+            version, entry = pickle.loads(payload)
+        except Exception:
+            self._quarantine(path, "unpickle")
             return None
         if version != CACHE_FORMAT_VERSION or not isinstance(
             entry, RoutineCacheEntry
         ):
-            self.stats.disk_errors += 1
+            self._quarantine(path, "version")
             return None
         return entry
 
@@ -275,13 +328,17 @@ class SummaryCache:
         if path is None:
             return
         try:
+            payload = pickle.dumps((CACHE_FORMAT_VERSION, entry))
+            digest = hashlib.sha256(payload).digest()
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=path.parent, prefix=entry.fingerprint[:8], suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump((CACHE_FORMAT_VERSION, entry), fh)
+                    fh.write(DISK_MAGIC)
+                    fh.write(digest)
+                    fh.write(payload)
                 os.replace(tmp, path)  # atomic on POSIX: racing writers agree
             except BaseException:
                 os.unlink(tmp)

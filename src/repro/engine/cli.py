@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .. import __version__
 from ..dataflow import AnalysisOptions
 from ..driver.report import format_table, yes_no
+from ..resilience import faults
+from ..resilience.faults import ENV_VAR
 from .batch import BatchEngine, items_from_kernel_registry, items_from_paths
 
 
@@ -77,6 +80,44 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip cost/speedup estimation",
     )
+    resilience = parser.add_argument_group(
+        "resilience (docs/robustness.md)"
+    )
+    resilience.add_argument(
+        "--timeout-per-item",
+        type=float,
+        metavar="SECONDS",
+        help="declare an in-flight item hung after this long "
+        "(pool mode only; default: wait forever)",
+    )
+    resilience.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry a failed item up to N times before quarantining it "
+        "(default 2; source errors are never retried)",
+    )
+    resilience.add_argument(
+        "--budget-ms",
+        type=float,
+        metavar="MS",
+        help="per-file analysis deadline; exhaustion degrades loops to "
+        "conservative 'unknown (budget)' verdicts instead of failing",
+    )
+    resilience.add_argument(
+        "--budget-steps",
+        type=int,
+        metavar="N",
+        help="per-file symbolic step budget (deterministic analogue of "
+        "--budget-ms)",
+    )
+    resilience.add_argument(
+        "--inject-faults",
+        metavar="PLAN",
+        help="fault plan, e.g. 'worker.crash:MDG@1;cache.corrupt' "
+        f"(equivalent to setting ${ENV_VAR}; chaos testing only)",
+    )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
@@ -98,17 +139,26 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.inject_faults:
+        # the env var is the transport: pool workers inherit it
+        os.environ[ENV_VAR] = args.inject_faults
+        faults.reset()
+
     options = AnalysisOptions(
         symbolic="T1" not in args.ablate,
         if_conditions="T2" not in args.ablate,
         interprocedural="T3" not in args.ablate,
         use_fm=not args.no_fm,
+        budget_ms=args.budget_ms,
+        budget_steps=args.budget_steps,
     )
     engine = BatchEngine(
         options,
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         run_machine_model=not args.no_machine,
+        timeout_per_item=args.timeout_per_item,
+        max_attempts=max(1, args.retries + 1),
     )
     report = engine.run(items)
 
@@ -117,8 +167,15 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(
                 {
                     "results": [
-                        res.payload if res.ok else {"name": res.name,
-                                                    "error": res.error}
+                        res.payload
+                        if res.ok
+                        else {
+                            "name": res.name,
+                            "error": res.error,
+                            "error_kind": res.error_kind,
+                            "attempts": res.attempts,
+                            "quarantined": res.quarantined,
+                        }
                         for res in report.results
                     ],
                     "telemetry": report.telemetry.as_dict(),
@@ -130,8 +187,13 @@ def main(argv: list[str] | None = None) -> int:
     else:
         for res in report.results:
             if not res.ok:
-                print(f"--- {res.name}: ERROR ---\n{res.error}",
-                      file=sys.stderr)
+                tag = res.error_kind or "error"
+                flag = " [quarantined]" if res.quarantined else ""
+                print(
+                    f"--- {res.name}: ERROR ({tag}, "
+                    f"{res.attempts} attempt(s)){flag} ---\n{res.error}",
+                    file=sys.stderr,
+                )
                 continue
             rows = [
                 [
@@ -157,7 +219,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.stats_json:
         report.telemetry.write_json(args.stats_json)
-    return 0 if report.ok else 1
+    code = report.exit_code()
+    if code == 3:
+        print(
+            "panorama-batch: completed with degradations "
+            "(see docs/robustness.md; exit 3)",
+            file=sys.stderr,
+        )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,7 @@ def loop_report_row(report: LoopReport) -> dict[str, Any]:
         "lineno": report.lineno,
         "status": report.status.value,
         "parallel": report.parallel,
+        "degraded": report.degraded,
         "used_dataflow": report.used_dataflow,
         "screen": report.screen.verdict.value,
         "privatized": list(verdict.privatized) if verdict else [],
@@ -77,6 +78,7 @@ def analysis_stats_dict(stats: AnalysisStats) -> dict[str, int]:
         "loops_summarized": stats.loops_summarized,
         "routines_summarized": stats.routines_summarized,
         "peak_gar_list": stats.peak_gar_list,
+        "budget_degradations": stats.budget_degradations,
     }
 
 
@@ -128,6 +130,20 @@ class EngineTelemetry:
             "loops_summarized": 0,
             "routines_summarized": 0,
             "peak_gar_list": 0,
+            "budget_degradations": 0,
+        }
+    )
+    #: resilience counters (batch-engine supervision, section
+    #: "degradation ladder" of docs/robustness.md)
+    resilience: dict[str, int] = field(
+        default_factory=lambda: {
+            "retries": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+            "pool_rebuilds": 0,
+            "quarantined": 0,
+            "degraded_items": 0,
+            "degraded_loops": 0,
         }
     )
     cache: CacheStats = field(default_factory=CacheStats)
@@ -144,6 +160,9 @@ class EngineTelemetry:
         rows = payload.get("loops", [])
         self.loops += len(rows)
         self.parallel_loops += sum(1 for r in rows if r.get("parallel"))
+        self.resilience["degraded_loops"] += sum(
+            1 for r in rows if r.get("degraded")
+        )
         for key, value in payload.get("timings", {}).items():
             self.timings[key] = self.timings.get(key, 0.0) + value
         for key, value in payload.get("stats", {}).items():
@@ -170,6 +189,7 @@ class EngineTelemetry:
             "stats": dict(self.stats),
             "cache": self.cache.as_dict(),
             "symbolic": dict(self.symbolic),
+            "resilience": dict(self.resilience),
         }
 
     def to_json(self, indent: int | None = 2) -> str:

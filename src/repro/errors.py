@@ -58,3 +58,61 @@ class HSGError(ReproError):
 
 class AnalysisError(ReproError):
     """Dataflow summary computation failure."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the resilience layer's typed failures."""
+
+
+class BudgetExceeded(ResilienceError):
+    """An analysis budget (deadline or step count) ran out.
+
+    Raised from the symbolic hot paths; the SUM_* algorithms catch it and
+    degrade to the paper's conservative whole-array summary instead of
+    dying — the loop verdict becomes "unknown (budget)", never a crash.
+    """
+
+    def __init__(self, message: str = "analysis budget exceeded",
+                 reason: str = "budget") -> None:
+        super().__init__(message)
+        #: "deadline" | "steps" | "budget" — which limit was hit
+        self.reason = reason
+
+
+class WorkerCrash(ResilienceError):
+    """A batch pool worker died (killed, OOM, segfault) mid-item."""
+
+
+class ItemTimeout(ResilienceError):
+    """A batch item exceeded its per-item wall-clock timeout."""
+
+
+#: classification buckets for the batch engine's typed error field:
+#: *hard* kinds indicate the item itself is bad (retrying cannot help),
+#: *fault* kinds indicate infrastructure trouble (retry under supervision)
+HARD_ERROR_KINDS = frozenset({"source", "analysis", "internal"})
+FAULT_ERROR_KINDS = frozenset({"worker-crash", "timeout", "oom", "budget"})
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an exception to the batch engine's typed error taxonomy.
+
+    Returns one of: ``source`` (bad input text), ``analysis`` (the
+    library refused the program), ``budget``, ``oom``, ``worker-crash``,
+    ``timeout``, or ``internal`` (a programming error — a traceback worth
+    reading).  ``KeyboardInterrupt``/``SystemExit`` are never classified;
+    callers must re-raise them.
+    """
+    if isinstance(exc, BudgetExceeded):
+        return "budget"
+    if isinstance(exc, ItemTimeout):
+        return "timeout"
+    if isinstance(exc, WorkerCrash):
+        return "worker-crash"
+    if isinstance(exc, SourceError):
+        return "source"
+    if isinstance(exc, ReproError):
+        return "analysis"
+    if isinstance(exc, MemoryError):
+        return "oom"
+    return "internal"

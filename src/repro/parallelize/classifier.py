@@ -32,6 +32,10 @@ class LoopStatus(Enum):
     PARALLEL_AFTER_PRIVATIZATION = "parallel (privatized)"
     PARALLEL_WITH_REDUCTION = "parallel (reduction)"
     SERIAL = "serial"
+    #: the analysis budget ran out: the summary is the conservative
+    #: whole-array fallback, so nothing can be proven either way — the
+    #: loop is treated as serial but the verdict is explicitly "unknown"
+    UNKNOWN = "unknown (budget)"
 
 
 @dataclass
@@ -60,7 +64,7 @@ class LoopVerdict:
 
     @property
     def parallel(self) -> bool:
-        return self.status is not LoopStatus.SERIAL
+        return self.status not in (LoopStatus.SERIAL, LoopStatus.UNKNOWN)
 
     def blocking_variables(self) -> list[str]:
         """Variables whose dependences serialize the loop."""
@@ -108,6 +112,16 @@ def classify_loop(
         status=LoopStatus.PARALLEL,
         record=record,
     )
+    if record.degraded is not None:
+        # budget-exhaustion fallback: the sets are the conservative
+        # whole-array over-approximation — dependence reasoning over them
+        # would only manufacture spurious findings, so stop here
+        verdict.status = LoopStatus.UNKNOWN
+        verdict.serial_reasons.append(
+            f"analysis budget exhausted ({record.degraded}): conservative "
+            "whole-array summary, loop not analyzed"
+        )
+        return verdict
     if loop.has_premature_exit:
         verdict.status = LoopStatus.SERIAL
         verdict.serial_reasons.append(

@@ -157,6 +157,13 @@ class Counters:
         "prove_calls",
         "prove_fm_queries",
         "fm_eliminations",
+        # silent-give-up visibility: every FM effort-cap bail-out is a
+        # degradation event counted here (surfaced by --profile and
+        # --stats-json, see docs/robustness.md)
+        "fm_var_limit_bailouts",
+        "fm_constraint_limit_bailouts",
+        "fm_ne_splits_dropped",
+        "budget_fallbacks",
         "gar_simplify_calls",
         "gar_emptiness_checks",
         "sum_loop_calls",

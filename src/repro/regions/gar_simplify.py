@@ -19,6 +19,7 @@ except where noted inline.
 from __future__ import annotations
 
 from ..perf.profiler import COUNTERS, timed
+from ..resilience.budget import charge as _budget_charge
 from ..symbolic import Comparer, predicate_implies
 from .gar import GAR, GARList
 from .region_ops import region_covers, region_union
@@ -59,6 +60,7 @@ def _covers(g1: GAR, g2: GAR, cmp: Comparer) -> bool:
 def simplify_gar_list(gars: GARList, cmp: Comparer) -> GARList:
     """Remove empty and redundant members; merge where possible."""
     COUNTERS.gar_simplify_calls += 1
+    _budget_charge(1)
     # emptiness is a pure property of the GAR (its guard), so compute it
     # at most once per distinct GAR for the whole call — the per-pass
     # re-filter below used to re-prove it for every survivor

@@ -1,0 +1,51 @@
+"""The resilience layer: budgets, graceful degradation, fault injection.
+
+Every failure mode of the analysis runtime must either *degrade
+conservatively* (the paper's whole-array fallback) or *retry under
+supervision* (the batch engine), and both must be observable:
+
+* :mod:`repro.resilience.budget` — deadline / step budgets charged by
+  the symbolic hot paths; exhaustion raises
+  :class:`~repro.errors.BudgetExceeded`, which ``SUM_loop``/``SUM_call``
+  convert into the conservative whole-array summary;
+* :mod:`repro.resilience.faults` — seeded, deterministic fault plans
+  (env-var gated) driving the ``tests/chaos`` suite;
+* the typed error taxonomy lives in :mod:`repro.errors`
+  (``BudgetExceeded``, ``WorkerCrash``, ``ItemTimeout``,
+  ``classify_exception``).
+
+The degradation ladder, top to bottom (see ``docs/robustness.md``):
+prove fails → FM bails (counted) → budget fallback (conservative
+summary) → item retry with backoff → quarantine.
+"""
+
+from ..errors import (
+    BudgetExceeded,
+    ItemTimeout,
+    ResilienceError,
+    WorkerCrash,
+    classify_exception,
+)
+from .budget import (
+    AnalysisBudget,
+    active_budget,
+    budget_scope,
+    charge,
+)
+from .faults import FaultPlan, FaultSpec, parse_plan, should_fire
+
+__all__ = [
+    "AnalysisBudget",
+    "BudgetExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "ItemTimeout",
+    "ResilienceError",
+    "WorkerCrash",
+    "active_budget",
+    "budget_scope",
+    "charge",
+    "classify_exception",
+    "parse_plan",
+    "should_fire",
+]

@@ -1,0 +1,130 @@
+"""Analysis budgets: deadline / step limits for the symbolic hot paths.
+
+The paper's contract is *conservative correctness*: when the analysis
+cannot afford to prove a region relation it must fall back to a safe
+summary, never hang.  An :class:`AnalysisBudget` makes "cannot afford"
+explicit — a wall-clock deadline and/or an abstract step count charged by
+the expensive kernels (``Comparer.prove``, Fourier–Motzkin elimination,
+the GAR simplifier).  On exhaustion :class:`~repro.errors.BudgetExceeded`
+is raised; ``SUM_loop``/``SUM_call`` catch it and degrade to the
+conservative whole-array summary (see :mod:`repro.dataflow.sum_loop`).
+
+One budget is active per process at a time (analysis is single-threaded
+within a process; the batch engine's workers each own their own).  The
+hot-path cost with no budget active is a single module-global ``None``
+test; deadline checks amortize the clock syscall over
+:data:`DEADLINE_CHECK_INTERVAL` steps.
+
+Once a budget is exhausted it *stays* exhausted: every further charge
+re-raises, so partially computed work unwinds to the nearest conservative
+catch point and everything after it degrades too — deadline semantics,
+deterministic for step budgets.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import BudgetExceeded
+
+#: steps between wall-clock reads when a deadline is set
+DEADLINE_CHECK_INTERVAL = 256
+
+
+class AnalysisBudget:
+    """A deadline and/or step budget for one analysis run."""
+
+    __slots__ = ("max_steps", "deadline", "budget_ms", "steps",
+                 "exhausted_reason", "_countdown")
+
+    def __init__(
+        self,
+        budget_ms: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        self.budget_ms = budget_ms
+        self.max_steps = max_steps
+        self.deadline = (
+            time.monotonic() + budget_ms / 1000.0
+            if budget_ms is not None
+            else None
+        )
+        self.steps = 0
+        #: None while within budget; "steps" or "deadline" after
+        self.exhausted_reason: Optional[str] = None
+        self._countdown = DEADLINE_CHECK_INTERVAL
+
+    @property
+    def exhausted(self) -> bool:
+        return self.exhausted_reason is not None
+
+    def _raise(self) -> None:
+        reason = self.exhausted_reason or "budget"
+        if reason == "steps":
+            detail = f"step budget exhausted ({self.max_steps} steps)"
+        else:
+            detail = f"deadline exceeded ({self.budget_ms} ms)"
+        raise BudgetExceeded(f"analysis budget exceeded: {detail}",
+                             reason=reason)
+
+    def charge(self, n: int = 1) -> None:
+        """Consume *n* abstract steps; raise once the budget is gone."""
+        if self.exhausted_reason is not None:
+            self._raise()
+        self.steps += n
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self.exhausted_reason = "steps"
+            self._raise()
+        if self.deadline is not None:
+            self._countdown -= n
+            if self._countdown <= 0:
+                self._countdown = DEADLINE_CHECK_INTERVAL
+                if time.monotonic() > self.deadline:
+                    self.exhausted_reason = "deadline"
+                    self._raise()
+
+    def check(self) -> None:
+        """Raise if already exhausted, without consuming a step."""
+        if self.exhausted_reason is not None:
+            self._raise()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnalysisBudget(ms={self.budget_ms}, max_steps={self.max_steps},"
+            f" steps={self.steps}, exhausted={self.exhausted_reason!r})"
+        )
+
+
+#: the per-process active budget (None → charges are free no-ops)
+_ACTIVE: Optional[AnalysisBudget] = None
+
+
+def active_budget() -> Optional[AnalysisBudget]:
+    """The budget currently in scope, if any."""
+    return _ACTIVE
+
+
+def charge(n: int = 1) -> None:
+    """Charge the active budget; no-op (one global read) without one."""
+    budget = _ACTIVE
+    if budget is not None:
+        budget.charge(n)
+
+
+@contextmanager
+def budget_scope(budget: Optional[AnalysisBudget]) -> Iterator[
+        Optional[AnalysisBudget]]:
+    """Install *budget* as the process's active budget for the block.
+
+    Nests: the previous budget (usually ``None``) is restored on exit.
+    Passing ``None`` explicitly de-activates budgeting inside the block.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = budget
+    try:
+        yield budget
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the chaos test suite.
+
+A :class:`FaultPlan` is a set of seeded, deterministic fault specs parsed
+from the ``PANORAMA_FAULTS`` environment variable (the env var — not a
+Python object — is the transport, so batch pool workers inherit the plan
+for free).  Production code calls :func:`should_fire` at a handful of
+injection sites; with no plan configured the call is a cached ``None``
+test and nothing ever fires.
+
+Spec syntax (``;``-separated)::
+
+    site[:key][@n]
+
+* ``site`` — the injection point, e.g. ``worker.crash``, ``item.hang``,
+  ``item.error``, ``cache.read``, ``cache.corrupt``, ``budget.exhaust``;
+* ``key`` — optional filter (item name, cache fingerprint prefix);
+  ``*`` or absent matches any key;
+* ``@n`` — fire only on the *n*-th occurrence (for worker faults the
+  occurrence is the item's attempt number, so a respawned worker does not
+  re-fire a fault already consumed by attempt 1); without ``@n`` the
+  fault fires on **every** occurrence.
+
+Example: ``PANORAMA_FAULTS="worker.crash:MDG@1;cache.read@2"`` crashes
+the worker analyzing MDG on its first attempt and fails the second disk
+cache read in every process.
+
+Determinism: specs address occurrences by index, never by chance, and the
+batch engine's backoff jitter is seeded — a chaos run with a fixed plan
+and seed is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: environment variable carrying the plan across process boundaries
+ENV_VAR = "PANORAMA_FAULTS"
+
+#: how long an injected hang sleeps (far beyond any sane item timeout)
+HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: fire at *site* (for *key*) on occurrence *nth*."""
+
+    site: str
+    key: Optional[str] = None  # None/'*' = any key
+    nth: Optional[int] = None  # None = every occurrence
+
+    def matches(self, site: str, key: Optional[str], occurrence: int) -> bool:
+        if site != self.site:
+            return False
+        if self.key is not None and self.key != "*" and key != self.key:
+            return False
+        return self.nth is None or occurrence == self.nth
+
+
+def parse_plan(text: str) -> "FaultPlan":
+    """Parse the ``PANORAMA_FAULTS`` syntax into a :class:`FaultPlan`."""
+    specs = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        nth: Optional[int] = None
+        if "@" in chunk:
+            chunk, _, nth_text = chunk.rpartition("@")
+            nth = int(nth_text)
+        site, _, key = chunk.partition(":")
+        specs.append(FaultSpec(site=site, key=key or None, nth=nth))
+    return FaultPlan(specs=tuple(specs))
+
+
+@dataclass
+class FaultPlan:
+    """The active fault specs plus per-(site, key) occurrence counters."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    _counters: Dict[Tuple[str, Optional[str]], int] = field(
+        default_factory=dict
+    )
+
+    def should_fire(
+        self,
+        site: str,
+        key: Optional[str] = None,
+        occurrence: Optional[int] = None,
+    ) -> bool:
+        """Does a spec fire at this site/key, on this occurrence?
+
+        With *occurrence* omitted, the plan counts occurrences itself,
+        per ``(site, key)``, within the current process.
+        """
+        if not self.specs:
+            return False
+        if occurrence is None:
+            counter_key = (site, key)
+            occurrence = self._counters.get(counter_key, 0) + 1
+            self._counters[counter_key] = occurrence
+        return any(s.matches(site, key, occurrence) for s in self.specs)
+
+
+#: lazily parsed process-wide plan; None = env not yet consulted
+_PLAN: Optional[FaultPlan] = None
+_EMPTY = FaultPlan()
+
+
+def plan() -> FaultPlan:
+    """The process's fault plan (parsed from the env var once)."""
+    global _PLAN
+    if _PLAN is None:
+        text = os.environ.get(ENV_VAR, "")
+        _PLAN = parse_plan(text) if text else _EMPTY
+    return _PLAN
+
+
+def should_fire(
+    site: str, key: Optional[str] = None, occurrence: Optional[int] = None
+) -> bool:
+    """Convenience wrapper over :meth:`FaultPlan.should_fire`."""
+    return plan().should_fire(site, key, occurrence)
+
+
+def install(new_plan: Optional[FaultPlan]) -> None:
+    """Force a plan (tests); ``None`` reverts to lazy env parsing."""
+    global _PLAN
+    _PLAN = new_plan
+
+
+def reset() -> None:
+    """Drop the cached plan so the env var is re-read (tests)."""
+    install(None)

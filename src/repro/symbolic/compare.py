@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..perf.profiler import COUNTERS, MISS, BoundedCache
+from ..resilience.budget import charge as _budget_charge
 from .expr import ExprLike, SymExpr
 from .fourier_motzkin import definitely_unsat, implied_by
 from .predicate import Predicate
@@ -71,6 +72,9 @@ class Comparer:
         if not self.symbolic:
             return None
         COUNTERS.prove_calls += 1
+        # one proof attempt = one budget step (cached or not: repeats are
+        # cheap but a budgeted run must still terminate deterministically)
+        _budget_charge(1)
         key = (self._ctx_key, relation)
         cached = _PROVE_CACHE.get(key)
         if cached is not MISS:

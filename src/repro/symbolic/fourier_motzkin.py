@@ -30,6 +30,7 @@ from fractions import Fraction
 from typing import Iterable, Optional, Sequence
 
 from ..perf.profiler import COUNTERS, MISS, BoundedCache
+from ..resilience.budget import charge as _budget_charge
 from .expr import SymExpr
 from .relation import Atom, BoolAtom, Relation, RelOp
 
@@ -92,8 +93,14 @@ def _eliminate(constraints: list[_Constraint]) -> Optional[bool]:
         if not work:
             return False
         variables = {v for c in work for v in c.coeffs}
-        if len(variables) > MAX_VARIABLES or len(work) > MAX_CONSTRAINTS:
+        if len(variables) > MAX_VARIABLES:
+            COUNTERS.fm_var_limit_bailouts += 1
             return None
+        if len(work) > MAX_CONSTRAINTS:
+            COUNTERS.fm_constraint_limit_bailouts += 1
+            return None
+        # one elimination round is the FM unit of budgeted work
+        _budget_charge(1)
 
         # choose the variable with the fewest pos*neg products
         def cost(v: object) -> int:
@@ -131,6 +138,7 @@ def _eliminate(constraints: list[_Constraint]) -> Optional[bool]:
                 if not c.is_constant():
                     new.append(c)
         if len(new) > MAX_CONSTRAINTS:
+            COUNTERS.fm_constraint_limit_bailouts += 1
             return None
         work = new
 
@@ -151,6 +159,8 @@ def _atoms_to_systems(
             base.append(_to_constraint(-atom.expr))
         else:  # NE
             nes.append(atom)
+    if len(nes) > splits_left:
+        COUNTERS.fm_ne_splits_dropped += len(nes) - splits_left
     nes = nes[:splits_left]  # drop extras (weakens the system: still sound)
     systems = [base]
     for rel in nes:

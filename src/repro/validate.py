@@ -99,6 +99,12 @@ class _LoopTraceCollector:
             self._events = []
         else:  # exit
             self.current = None
+            # instance boundary: for an inner loop re-entered by an outer
+            # iteration, writes from a previous dynamic instance reach a
+            # later instance's reads from *outside* the loop (privatization
+            # covers them by copy-in) — only same-instance producers count
+            # as loop-carried flow
+            self.last_writer = {}
 
     def _finish_iteration(self) -> None:
         """Derive downward-exposed reads: reversed scan over the event log

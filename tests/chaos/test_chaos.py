@@ -1,0 +1,241 @@
+"""Chaos suite: injected faults must degrade the batch, never break it.
+
+Every test drives the real ``BatchEngine`` (real process pools, real
+disk cache) under a deterministic :mod:`repro.resilience.faults` plan
+and asserts the supervision contract of docs/robustness.md:
+
+* the report is always *complete* — every item has a typed result;
+* ``ok=False`` only on the items a fault actually touched;
+* transient faults (crash@1, hang@1, error@1) are absorbed by retries;
+* persistent faults end in quarantine, not a hung batch;
+* with no faults injected, verdicts are bit-identical to a plain run.
+"""
+
+import pytest
+
+from repro.dataflow import AnalysisOptions
+from repro.engine import BatchEngine, BatchItem
+from repro.resilience import faults
+
+ITEM_A = BatchItem(
+    name="itema",
+    source=(
+        "      SUBROUTINE sa(a, n)\n"
+        "      REAL a(100)\n"
+        "      INTEGER n, i\n"
+        "      DO 10 i = 1, n\n"
+        "        a(i) = 2.0\n"
+        "   10 CONTINUE\n"
+        "      END\n"
+    ),
+)
+
+ITEM_B = BatchItem(
+    name="itemb",
+    source=(
+        "      SUBROUTINE sb(b, m)\n"
+        "      REAL b(50)\n"
+        "      INTEGER m, j\n"
+        "      DO 20 j = 1, m\n"
+        "        b(j) = b(j) + 1.0\n"
+        "   20 CONTINUE\n"
+        "      END\n"
+    ),
+)
+
+
+# ITEM_C needs real dataflow analysis (the screen cannot resolve the
+# outer loop), so compiling it computes and *stores* routine summaries —
+# the cache-fault tests need entries on disk to corrupt
+ITEM_C = BatchItem(
+    name="itemc",
+    source=(
+        "      SUBROUTINE sc(a, t, n)\n"
+        "      REAL a(100), t(100)\n"
+        "      INTEGER n, i, j\n"
+        "      DO 10 i = 1, n\n"
+        "        DO 20 j = 1, 100\n"
+        "          t(j) = a(j) * 2.0\n"
+        "   20   CONTINUE\n"
+        "        DO 30 j = 1, 100\n"
+        "          a(j) = t(j) + 1.0\n"
+        "   30   CONTINUE\n"
+        "   10 CONTINUE\n"
+        "      END\n"
+    ),
+)
+
+
+@pytest.fixture(autouse=True)
+def fault_env(monkeypatch):
+    """Each test sets its plan through the env var (the real transport,
+    inherited by pool workers); nothing leaks between tests."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield monkeypatch
+    faults.reset()
+
+
+def inject(monkeypatch, plan: str) -> None:
+    monkeypatch.setenv(faults.ENV_VAR, plan)
+    faults.reset()
+
+
+def make_engine(**kw) -> BatchEngine:
+    kw.setdefault("jobs", 2)
+    kw.setdefault("timeout_per_item", 20.0)
+    kw.setdefault("max_attempts", 3)
+    kw.setdefault("backoff_base", 0.01)
+    return BatchEngine(AnalysisOptions(), **kw)
+
+
+def assert_clean_rows(report, name: str) -> None:
+    rows = report.result(name).rows()
+    assert rows, f"{name} produced no verdicts"
+    assert all(r["status"] != "unknown (budget)" for r in rows)
+
+
+class TestWorkerCrash:
+    def test_single_crash_is_retried_to_success(self, fault_env):
+        inject(fault_env, "worker.crash:itema@1")
+        report = make_engine().run([ITEM_A, ITEM_B])
+        assert report.complete and report.ok
+        assert report.result("itema").attempts >= 2
+        assert_clean_rows(report, "itema")
+        assert_clean_rows(report, "itemb")
+        res = report.telemetry.resilience
+        assert res["worker_crashes"] >= 1
+        assert res["pool_rebuilds"] >= 1
+        assert res["retries"] >= 1
+        assert report.exit_code() == 0
+
+    def test_persistent_crash_is_quarantined(self, fault_env):
+        inject(fault_env, "worker.crash:itema")
+        report = make_engine().run([ITEM_A, ITEM_B])
+        assert report.complete
+        bad = report.result("itema")
+        assert not bad.ok
+        assert bad.error_kind == "worker-crash"
+        assert bad.quarantined
+        assert bad.attempts == 3
+        # only the faulted item failed; the innocent one is intact
+        assert report.result("itemb").ok
+        assert_clean_rows(report, "itemb")
+        assert report.telemetry.resilience["quarantined"] == 1
+        assert not report.hard_failures()
+        assert report.exit_code() == 3
+
+
+class TestItemTimeout:
+    def test_hang_times_out_then_succeeds(self, fault_env):
+        inject(fault_env, "item.hang:itema@1")
+        report = make_engine(timeout_per_item=1.0).run([ITEM_A, ITEM_B])
+        assert report.complete and report.ok
+        assert_clean_rows(report, "itema")
+        res = report.telemetry.resilience
+        assert res["timeouts"] >= 1
+        assert res["pool_rebuilds"] >= 1
+        assert report.exit_code() == 0
+
+    def test_single_item_hang_still_supervised(self, fault_env):
+        # a one-item batch must not fall back to the unsupervised
+        # in-process path when a timeout is requested — the hang would
+        # block forever with nobody to kill it
+        inject(fault_env, "item.hang:itema@1")
+        report = make_engine(timeout_per_item=1.0).run([ITEM_A])
+        assert report.complete and report.ok
+        assert report.telemetry.resilience["timeouts"] >= 1
+        assert_clean_rows(report, "itema")
+
+    def test_persistent_hang_is_quarantined_not_deadlocked(self, fault_env):
+        inject(fault_env, "item.hang:itema")
+        report = make_engine(timeout_per_item=0.5, max_attempts=2).run(
+            [ITEM_A, ITEM_B]
+        )
+        assert report.complete
+        bad = report.result("itema")
+        assert not bad.ok and bad.error_kind == "timeout"
+        assert bad.quarantined
+        assert report.result("itemb").ok
+        assert report.exit_code() == 3
+
+
+class TestItemError:
+    def test_transient_error_is_retried(self, fault_env):
+        inject(fault_env, "item.error:itema@1")
+        report = make_engine().run([ITEM_A, ITEM_B])
+        assert report.complete and report.ok
+        assert report.telemetry.resilience["retries"] >= 1
+        assert report.exit_code() == 0
+
+    def test_persistent_error_is_a_hard_failure(self, fault_env):
+        inject(fault_env, "item.error:itema")
+        report = make_engine().run([ITEM_A, ITEM_B])
+        assert report.complete
+        bad = report.result("itema")
+        assert not bad.ok and bad.error_kind == "internal"
+        assert "injected fault" in bad.error
+        assert report.result("itemb").ok
+        assert report.hard_failures() == [bad]
+        assert report.exit_code() == 1
+
+
+class TestCacheFaults:
+    def test_corrupt_cache_entry_recomputes(self, fault_env, tmp_path):
+        cache_dir = tmp_path / "cache"
+        warm = make_engine(jobs=1, cache_dir=cache_dir)
+        baseline = warm.run([ITEM_C])
+        assert baseline.telemetry.cache.stores >= 1  # entries on disk
+        # second run: the first disk read finds a corrupted entry
+        inject(fault_env, "cache.corrupt@1")
+        engine = make_engine(jobs=1, cache_dir=cache_dir)
+        report = engine.run([ITEM_C])
+        assert report.complete and report.ok
+        # recomputed, not trusted
+        assert report.verdict_rows() == baseline.verdict_rows()
+        assert report.telemetry.cache.quarantined >= 1
+        assert (cache_dir / "quarantine").exists()
+
+    def test_cache_read_error_is_typed_containment(self, fault_env, tmp_path):
+        cache_dir = tmp_path / "cache"
+        make_engine(jobs=1, cache_dir=cache_dir).run([ITEM_C])
+        inject(fault_env, "cache.read@1")
+        report = make_engine(jobs=1, cache_dir=cache_dir).run([ITEM_C])
+        assert report.complete  # contained as a typed per-item failure
+        bad = report.result("itemc")
+        assert not bad.ok and bad.error_kind == "internal"
+        assert "injected fault: cache.read" in bad.error
+
+
+class TestBudgetFault:
+    def test_exhausted_budget_degrades_not_fails(self, fault_env):
+        inject(fault_env, "budget.exhaust")
+        report = make_engine(jobs=1).run([ITEM_A])
+        assert report.complete and report.ok  # verdicts, not errors
+        rows = report.result("itema").rows()
+        assert rows and all(r["status"] == "unknown (budget)" for r in rows)
+        assert all(not r["parallel"] for r in rows)
+        assert report.degraded
+        assert report.telemetry.resilience["degraded_loops"] == len(rows)
+        assert report.telemetry.resilience["degraded_items"] == 1
+        assert report.exit_code() == 3
+
+
+class TestNoFaultControl:
+    def test_supervised_run_is_bit_identical_to_plain(self):
+        plain = BatchEngine(AnalysisOptions(), jobs=1).run([ITEM_A, ITEM_B])
+        supervised = make_engine(
+            timeout_per_item=30.0, max_attempts=3, retry_seed=7
+        ).run([ITEM_A, ITEM_B])
+        assert supervised.complete and supervised.ok
+        assert supervised.verdict_rows() == plain.verdict_rows()
+        assert supervised.exit_code() == plain.exit_code() == 0
+        res = supervised.telemetry.resilience
+        assert res["retries"] == res["timeouts"] == res["worker_crashes"] == 0
+
+    def test_recovered_chaos_run_matches_control(self, fault_env):
+        control = make_engine().run([ITEM_A, ITEM_B]).verdict_rows()
+        inject(fault_env, "worker.crash:itema@1")
+        chaotic = make_engine().run([ITEM_A, ITEM_B])
+        assert chaotic.ok
+        assert chaotic.verdict_rows() == control

@@ -168,3 +168,58 @@ class TestConditionalKernels:
             )
             assert report.ok, report.violations
             assert "t" in report.privatization_checked
+
+    def test_inner_instance_boundary_is_not_carried_flow(self):
+        # the inner j loop writes a(i+1) and reads a(i): the value read at
+        # outer iteration i was produced by instance i-1 — flow *into* the
+        # j loop (copy-in territory), not flow carried *by* it.  A trace
+        # collector that kept last-writer state across dynamic instances
+        # used to misreport this as a privatization violation.
+        src = (
+            "      SUBROUTINE rnd(a, b, n, m)\n"
+            "      REAL a(100), b(100)\n"
+            "      INTEGER n, m, i, j\n"
+            "      REAL y\n"
+            "      DO i = 1, n\n"
+            "        DO j = 1, m\n"
+            "          a(i+1) = b(i) + 1.0\n"
+            "          y = a(i) * 0.5\n"
+            "        ENDDO\n"
+            "      ENDDO\n"
+            "      END\n"
+        )
+        report = validate_loop(
+            src,
+            "rnd",
+            "j",
+            args={"a": [0.5] * 40, "b": [1.5] * 40, "n": 2, "m": 4},
+            occurrence=0,
+        )
+        assert report.ok, report.violations
+        assert len(report.iterations) == 8  # both instances traced
+
+    def test_same_instance_flow_is_still_detected(self):
+        # control: a genuine j-carried recurrence inside one inner-loop
+        # instance — the instance-boundary reset must not erase
+        # same-instance producers, so a is (correctly) never declared
+        # privatizable and the trace agrees
+        src = (
+            "      SUBROUTINE rec(a, n, m)\n"
+            "      REAL a(100)\n"
+            "      INTEGER n, m, i, j\n"
+            "      DO i = 1, n\n"
+            "        DO j = 2, m\n"
+            "          a(j) = a(j-1) + 1.0\n"
+            "        ENDDO\n"
+            "      ENDDO\n"
+            "      END\n"
+        )
+        report = validate_loop(
+            src,
+            "rec",
+            "j",
+            args={"a": [0.5] * 40, "n": 2, "m": 5},
+            occurrence=0,
+        )
+        assert report.ok, report.violations
+        assert "a" not in report.privatization_checked

@@ -7,6 +7,7 @@ from repro.dataflow.context import LoopSummaryRecord
 from repro.dataflow.summary import Summary, scalar_gar
 from repro.engine import (
     CACHE_FORMAT_VERSION,
+    DISK_MAGIC,
     RoutineCacheEntry,
     SummaryCache,
     fingerprint_program,
@@ -185,3 +186,90 @@ class TestSummaryCache:
         cache.get(entry.fingerprint)
         delta = cache.stats.delta(before)
         assert delta.hits == 1 and delta.stores == 0
+
+
+class TestQuarantine:
+    """Bad disk entries are verified (magic + SHA-256) before unpickling
+    and moved aside to ``quarantine/`` — never re-read, never trusted."""
+
+    def corrupt_and_read(self, tmp_path, mutate):
+        entry = make_entry()
+        cache = SummaryCache(tmp_path)
+        cache.put(entry)
+        path = cache._path(entry.fingerprint)
+        mutate(path, entry)
+        fresh = SummaryCache(tmp_path)
+        got = fresh.get(entry.fingerprint)
+        return got, fresh, path
+
+    def quarantined_files(self, tmp_path):
+        qdir = tmp_path / "quarantine"
+        return sorted(p.name for p in qdir.iterdir()) if qdir.exists() else []
+
+    def test_garbage_bytes_are_quarantined(self, tmp_path):
+        got, fresh, path = self.corrupt_and_read(
+            tmp_path, lambda p, e: p.write_bytes(b"not a pickle")
+        )
+        assert got is None
+        assert fresh.stats.disk_errors == 1
+        assert fresh.stats.quarantined == 1
+        assert not path.exists()  # moved, not left to poison later reads
+        (name,) = self.quarantined_files(tmp_path)
+        assert name.endswith(".badmagic")
+
+    def test_truncated_entry_fails_checksum(self, tmp_path):
+        def truncate(path, entry):
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) - 7])  # torn write
+
+        got, fresh, path = self.corrupt_and_read(tmp_path, truncate)
+        assert got is None
+        assert fresh.stats.quarantined == 1
+        (name,) = self.quarantined_files(tmp_path)
+        assert name.endswith(".checksum")
+
+    def test_bit_flip_in_payload_fails_checksum(self, tmp_path):
+        def flip(path, entry):
+            data = bytearray(path.read_bytes())
+            data[-1] ^= 0xFF
+            path.write_bytes(bytes(data))
+
+        got, fresh, path = self.corrupt_and_read(tmp_path, flip)
+        assert got is None
+        assert fresh.stats.quarantined == 1
+
+    def test_version_mismatch_is_quarantined(self, tmp_path):
+        import hashlib
+
+        def downgrade(path, entry):
+            # a well-formed container carrying a foreign format version
+            payload = pickle.dumps((CACHE_FORMAT_VERSION + 1, entry))
+            path.write_bytes(
+                DISK_MAGIC + hashlib.sha256(payload).digest() + payload
+            )
+
+        got, fresh, path = self.corrupt_and_read(tmp_path, downgrade)
+        assert got is None
+        assert fresh.stats.quarantined == 1
+        (name,) = self.quarantined_files(tmp_path)
+        assert name.endswith(".version")
+
+    def test_quarantined_entry_is_recomputable(self, tmp_path):
+        # after quarantining, a put stores a good entry under the same
+        # fingerprint and reads hit again
+        got, fresh, path = self.corrupt_and_read(
+            tmp_path, lambda p, e: p.write_bytes(b"junk")
+        )
+        assert got is None
+        entry = make_entry()
+        fresh.put(entry)
+        fresh.clear_memory()
+        assert fresh.get(entry.fingerprint) is not None
+
+    def test_quarantined_counter_merges(self):
+        from repro.engine import CacheStats
+
+        a, b = CacheStats(quarantined=2), CacheStats(quarantined=3)
+        a.merge(b)
+        assert a.quarantined == 5
+        assert CacheStats(**a.as_dict()).quarantined == 5

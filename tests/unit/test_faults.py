@@ -1,0 +1,95 @@
+"""Unit tests for the deterministic fault-injection substrate."""
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec, parse_plan
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_plan(monkeypatch):
+    """Never leak an installed plan (or the env var) between tests."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestParsePlan:
+    def test_site_only(self):
+        plan = parse_plan("item.hang")
+        assert plan.specs == (FaultSpec(site="item.hang"),)
+
+    def test_site_key_nth(self):
+        plan = parse_plan("worker.crash:MDG@1")
+        assert plan.specs == (
+            FaultSpec(site="worker.crash", key="MDG", nth=1),
+        )
+
+    def test_multiple_specs_and_whitespace(self):
+        plan = parse_plan(" worker.crash:MDG@1 ; cache.read@2 ;; item.hang ")
+        assert [s.site for s in plan.specs] == [
+            "worker.crash",
+            "cache.read",
+            "item.hang",
+        ]
+        assert plan.specs[1] == FaultSpec(site="cache.read", nth=2)
+
+    def test_empty_plan(self):
+        assert parse_plan("").specs == ()
+
+
+class TestShouldFire:
+    def test_key_filter(self):
+        plan = parse_plan("worker.crash:MDG")
+        assert plan.should_fire("worker.crash", key="MDG", occurrence=1)
+        assert not plan.should_fire("worker.crash", key="TRFD", occurrence=1)
+        assert not plan.should_fire("item.hang", key="MDG", occurrence=1)
+
+    def test_wildcard_key(self):
+        plan = parse_plan("worker.crash:*")
+        assert plan.should_fire("worker.crash", key="anything", occurrence=1)
+
+    def test_nth_occurrence_only(self):
+        plan = parse_plan("worker.crash:MDG@2")
+        assert not plan.should_fire("worker.crash", key="MDG", occurrence=1)
+        assert plan.should_fire("worker.crash", key="MDG", occurrence=2)
+        assert not plan.should_fire("worker.crash", key="MDG", occurrence=3)
+
+    def test_no_nth_fires_every_occurrence(self):
+        plan = parse_plan("item.hang:X")
+        for occurrence in (1, 2, 5):
+            assert plan.should_fire("item.hang", key="X", occurrence=occurrence)
+
+    def test_self_counted_occurrences(self):
+        plan = parse_plan("cache.read@2")
+        # the plan counts (site, key) occurrences itself when the caller
+        # does not pass one: the second read fires, others do not
+        assert not plan.should_fire("cache.read")
+        assert plan.should_fire("cache.read")
+        assert not plan.should_fire("cache.read")
+
+    def test_counters_are_per_site_and_key(self):
+        plan = parse_plan("cache.read:aa@1")
+        assert plan.should_fire("cache.read", key="aa")
+        assert not plan.should_fire("cache.read", key="bb")
+
+    def test_empty_plan_never_fires(self):
+        assert not FaultPlan().should_fire("worker.crash", occurrence=1)
+
+
+class TestProcessPlan:
+    def test_env_var_is_the_transport(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "budget.exhaust@1")
+        faults.reset()
+        assert faults.should_fire("budget.exhaust")
+        assert not faults.should_fire("budget.exhaust")
+
+    def test_no_env_no_faults(self):
+        assert not faults.should_fire("worker.crash", occurrence=1)
+
+    def test_install_forces_a_plan(self):
+        faults.install(parse_plan("item.error:X"))
+        assert faults.should_fire("item.error", key="X", occurrence=1)
+        faults.reset()
+        assert not faults.should_fire("item.error", key="X", occurrence=1)

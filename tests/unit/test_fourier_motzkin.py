@@ -123,3 +123,77 @@ class TestImpliedBy:
 
     def test_empty_context_tautology(self):
         assert implied_by([], Relation.le("i", sym("i") + 1))
+
+
+class TestEffortCaps:
+    """Satellite contract (docs/robustness.md): when a system exceeds the
+    elimination effort caps, FM gives up *soundly* — ``definitely_unsat``
+    answers False ("could not prove"), never wrong or hung — and the
+    bail-out is counted so ``--profile``/``--stats-json`` surface it.
+
+    Every test uses fresh variable names: verdicts are memoized on the
+    atom set, and counters only move on a cache miss.
+    """
+
+    def test_variable_limit_bails_out_and_counts(self):
+        from repro.perf.profiler import COUNTERS
+        from repro.symbolic.fourier_motzkin import MAX_VARIABLES
+
+        n = MAX_VARIABLES + 2
+        # v0 <= v1 <= ... <= v{n-1} <= v0 - 1: infeasible, but the proof
+        # needs elimination over n > MAX_VARIABLES variables
+        atoms = [
+            Relation.le(f"vcap{k}", f"vcap{k + 1}") for k in range(n - 1)
+        ]
+        atoms.append(Relation.le(f"vcap{n - 1}", sym("vcap0") - 1))
+        before = COUNTERS.fm_var_limit_bailouts
+        assert not definitely_unsat(atoms)  # gave up, did not prove
+        assert COUNTERS.fm_var_limit_bailouts == before + 1
+
+    def test_constraint_limit_bails_out_and_counts(self):
+        from repro.perf.profiler import COUNTERS
+        from repro.symbolic.fourier_motzkin import MAX_CONSTRAINTS
+
+        import itertools
+
+        from repro.symbolic.fourier_motzkin import MAX_VARIABLES
+
+        # stay under the variable cap but flood the constraint cap:
+        # every ordered pair at three slack levels, all satisfiable
+        names = [f"ccap{k}" for k in range(MAX_VARIABLES)]
+        atoms = [
+            Relation.le(a, sym(b) + c)
+            for a, b in itertools.combinations(names, 2)
+            for c in range(3)
+        ]
+        assert len(atoms) > MAX_CONSTRAINTS
+        before = COUNTERS.fm_constraint_limit_bailouts
+        assert not definitely_unsat(atoms)
+        assert COUNTERS.fm_constraint_limit_bailouts == before + 1
+
+    def test_excess_ne_splits_are_dropped_and_counted(self):
+        from repro.perf.profiler import COUNTERS
+        from repro.symbolic.fourier_motzkin import MAX_NE_SPLITS
+
+        # MAX_NE_SPLITS + 2 disequalities: the extras are dropped (sound
+        # weakening), so the squeezed contradiction is no longer provable
+        atoms = [
+            Relation.ne("necap", k) for k in range(MAX_NE_SPLITS + 2)
+        ]
+        atoms.append(Relation.ge("necap", 0))
+        atoms.append(Relation.le("necap", MAX_NE_SPLITS + 1))
+        before = COUNTERS.fm_ne_splits_dropped
+        definitely_unsat(atoms)
+        assert COUNTERS.fm_ne_splits_dropped == before + 2
+
+    def test_bailout_counters_reach_profile_snapshot(self):
+        from repro.perf import profiler
+
+        snap = profiler.snapshot()
+        for key in (
+            "counter.fm_var_limit_bailouts",
+            "counter.fm_constraint_limit_bailouts",
+            "counter.fm_ne_splits_dropped",
+            "counter.budget_fallbacks",
+        ):
+            assert key in snap and isinstance(snap[key], int)
