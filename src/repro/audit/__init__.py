@@ -1,0 +1,24 @@
+"""The static soundness auditor (docs/auditing.md).
+
+An N-version cross-check of every parallel verdict: the conventional
+dependence suite re-examines the reference pairs the GAR analysis must
+have disproved, and disagreements surface as PAN1xx diagnostics.
+"""
+
+from .auditor import (
+    AuditFinding,
+    AuditReport,
+    audit_compilation,
+    audit_loop,
+    classify_votes,
+)
+from .lint import lint_program
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "audit_compilation",
+    "audit_loop",
+    "classify_votes",
+    "lint_program",
+]

@@ -83,6 +83,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="symbolic step budget (deterministic analogue of --budget-ms)",
     )
+    audit = parser.add_argument_group("auditing (docs/auditing.md)")
+    audit.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the static race auditor over every parallel verdict and "
+        "print its diagnostics (PAN1xx/PAN2xx/PAN3xx)",
+    )
+    audit.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="write the audit diagnostics as a SARIF 2.1.0 log "
+        "(implies --audit)",
+    )
+    audit.add_argument(
+        "--strict-audit",
+        action="store_true",
+        help="exit 4 when the audit finds a confirmed disagreement or an "
+        "internal-consistency violation (implies --audit)",
+    )
     parser.add_argument(
         "--version",
         action="version",
@@ -115,10 +134,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.profile:
         profiler.enable()
+    run_audit = args.audit or args.sarif or args.strict_audit
     panorama = Panorama(options, run_machine_model=not args.no_machine)
     result = panorama.compile(source)
     # 3 = degraded-but-complete: some verdicts are budget fallbacks
     exit_code = 3 if result.degraded_loops() else 0
+
+    audit_report = None
+    if run_audit:
+        from ..audit import audit_compilation
+
+        audit_report = audit_compilation(
+            result, Path(str(args.source)).name, source=source
+        )
+        if args.sarif:
+            from ..diagnostics import write_sarif
+
+            write_sarif(audit_report.diagnostics(), args.sarif)
+        if args.strict_audit and audit_report.errors():
+            # 4 = the audit found a confirmed disagreement; it trumps
+            # the degraded-verdicts code because it is a soundness bug,
+            # not a capacity shortfall
+            exit_code = 4
 
     if args.json:
         # same serializer the batch engine ships results with
@@ -126,7 +163,11 @@ def main(argv: list[str] | None = None) -> int:
 
         print(
             json.dumps(
-                result_to_dict(result, name=Path(str(args.source)).name),
+                result_to_dict(
+                    result,
+                    name=Path(str(args.source)).name,
+                    audit=audit_report,
+                ),
                 indent=2,
                 sort_keys=True,
             )
@@ -174,12 +215,28 @@ def main(argv: list[str] | None = None) -> int:
                 print()
                 print(report.verdict.record)
 
+    if audit_report is not None:
+        from ..diagnostics import render_text
+
+        print()
+        print(audit_report.summary_line())
+        diags = audit_report.diagnostics()
+        if diags:
+            print(render_text(diags))
+
     if args.emit:
         from ..codegen import annotate
 
         print()
         print(annotate(result, style=args.emit))
-    if exit_code == 3:
+    if exit_code == 4:
+        print(
+            "panorama: strict audit failed: "
+            f"{len(audit_report.errors())} error-severity diagnostic(s) "
+            "(exit 4)",
+            file=sys.stderr,
+        )
+    elif exit_code == 3:
         print(
             f"panorama: {len(result.degraded_loops())} loop verdict(s) "
             "degraded by budget exhaustion (exit 3)",

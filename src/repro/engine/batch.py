@@ -164,6 +164,35 @@ class BatchReport:
             and (r.error_kind is None or r.error_kind in HARD_ERROR_KINDS)
         ]
 
+    def audit_diagnostics(self) -> list:
+        """Every audit diagnostic across the batch, rehydrated.
+
+        Items are :class:`~repro.diagnostics.Diagnostic` objects (the
+        workers ship them as dicts inside the payload's ``"audit"`` key).
+        Empty when the engine ran without ``audit=True``.
+        """
+        from ..diagnostics import diagnostic_from_dict
+
+        out = []
+        for res in self.results:
+            if res.payload is None:
+                continue
+            audit = res.payload.get("audit")
+            if not audit:
+                continue
+            out.extend(
+                diagnostic_from_dict(d) for d in audit.get("diagnostics", [])
+            )
+        return out
+
+    def audit_errors(self) -> list:
+        """Error-severity audit diagnostics (what --strict-audit fails on)."""
+        from ..diagnostics import Severity
+
+        return [
+            d for d in self.audit_diagnostics() if d.level is Severity.ERROR
+        ]
+
     def exit_code(self) -> int:
         """Process exit status: 0 clean, 3 degraded-but-complete, 1 hard.
 
@@ -190,6 +219,7 @@ def _analyze_item(
     run_machine_model: bool,
     cache: Optional[SummaryCache] = None,
     attempt: int = 1,
+    audit: bool = False,
 ) -> BatchItemResult:
     """Analyze one item with a cache-wired pipeline.
 
@@ -219,9 +249,16 @@ def _analyze_item(
             hooks=hooks,
         )
         result = panorama.compile(item.source)
+        audit_report = None
+        if audit:
+            from ..audit import audit_compilation
+
+            audit_report = audit_compilation(
+                result, item.name, source=item.source
+            )
         return BatchItemResult(
             name=item.name,
-            payload=result_to_dict(result, name=item.name),
+            payload=result_to_dict(result, name=item.name, audit=audit_report),
             cache_stats=own_cache.stats.delta(before),
             stored_fingerprints=list(hooks.stored_fingerprints),
             reused_routines=sorted(hooks.reused),
@@ -247,9 +284,14 @@ def _analyze_item(
 
 
 def _worker_main(args: tuple) -> BatchItemResult:
-    item, options, cache_dir, run_machine_model, attempt = args
+    item, options, cache_dir, run_machine_model, attempt, audit = args
     return _analyze_item(
-        item, options, cache_dir, run_machine_model, attempt=attempt
+        item,
+        options,
+        cache_dir,
+        run_machine_model,
+        attempt=attempt,
+        audit=audit,
     )
 
 
@@ -280,6 +322,7 @@ class BatchEngine:
         max_attempts: int = 3,
         backoff_base: float = 0.05,
         retry_seed: int = 0,
+        audit: bool = False,
     ) -> None:
         self.options = options or AnalysisOptions()
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -293,6 +336,8 @@ class BatchEngine:
         self.backoff_base = backoff_base
         #: seed for the retry-backoff jitter (deterministic chaos runs)
         self.retry_seed = retry_seed
+        #: run the static race auditor on every item (docs/auditing.md)
+        self.audit = audit
         #: supervision counters of the most recent run (rolled into the
         #: report's EngineTelemetry)
         self.supervision: dict[str, int] = {}
@@ -320,6 +365,7 @@ class BatchEngine:
                     self.cache_dir,
                     self.run_machine_model,
                     cache=self.cache,
+                    audit=self.audit,
                 )
                 for item in items
             ]
@@ -359,6 +405,7 @@ class BatchEngine:
             self.cache_dir,
             self.run_machine_model,
             attempt,
+            self.audit,
         )
 
     @staticmethod

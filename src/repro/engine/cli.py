@@ -118,6 +118,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="fault plan, e.g. 'worker.crash:MDG@1;cache.corrupt' "
         f"(equivalent to setting ${ENV_VAR}; chaos testing only)",
     )
+    audit = parser.add_argument_group("auditing (docs/auditing.md)")
+    audit.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the static race auditor over every parallel verdict in "
+        "every item (PAN1xx/PAN2xx/PAN3xx diagnostics)",
+    )
+    audit.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="write all audit diagnostics as one SARIF 2.1.0 log "
+        "(implies --audit)",
+    )
+    audit.add_argument(
+        "--strict-audit",
+        action="store_true",
+        help="exit 4 when the audit finds a confirmed disagreement or an "
+        "internal-consistency violation (implies --audit)",
+    )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
@@ -152,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         budget_ms=args.budget_ms,
         budget_steps=args.budget_steps,
     )
+    run_audit = bool(args.audit or args.sarif or args.strict_audit)
     engine = BatchEngine(
         options,
         cache_dir=args.cache_dir,
@@ -159,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         run_machine_model=not args.no_machine,
         timeout_per_item=args.timeout_per_item,
         max_attempts=max(1, args.retries + 1),
+        audit=run_audit,
     )
     report = engine.run(items)
 
@@ -216,11 +237,40 @@ def main(argv: list[str] | None = None) -> int:
             )
             print()
         print(report.telemetry.summary_line())
+        if run_audit:
+            a = report.telemetry.audit
+            print(
+                f"audit: {a['loops_audited']} loop(s), "
+                f"{a['pairs_checked']} pair(s); "
+                f"{a['confirmed']} confirmed, {a['guarded']} guarded, "
+                f"{a['undecided']} undecided, "
+                f"{a['oracle_conflicts']} oracle conflict(s), "
+                f"{a['lint']} lint, {a['sanitizer']} sanitizer"
+            )
+            from ..diagnostics import render_text
+
+            diags = report.audit_diagnostics()
+            if diags:
+                print(render_text(diags))
+
+    if run_audit and args.sarif:
+        from ..diagnostics import write_sarif
+
+        write_sarif(report.audit_diagnostics(), args.sarif)
 
     if args.stats_json:
         report.telemetry.write_json(args.stats_json)
     code = report.exit_code()
-    if code == 3:
+    if code in (0, 3) and args.strict_audit and report.audit_errors():
+        # a soundness finding trumps the degraded-verdicts code
+        code = 4
+        print(
+            "panorama-batch: strict audit failed: "
+            f"{len(report.audit_errors())} error-severity diagnostic(s) "
+            "(exit 4)",
+            file=sys.stderr,
+        )
+    elif code == 3:
         print(
             "panorama-batch: completed with degradations "
             "(see docs/robustness.md; exit 3)",

@@ -48,6 +48,9 @@ def loop_report_row(report: LoopReport) -> dict[str, Any]:
         "reductions": list(verdict.reductions) if verdict else [],
         "inductions": list(verdict.inductions) if verdict else [],
         "serial_reasons": list(verdict.serial_reasons) if verdict else [],
+        # the privatizer's offending intersections for candidates that
+        # failed the MOD_<i ∩ UE_i test (empty when nothing failed)
+        "conflicts": verdict.conflicts() if verdict else {},
         "speedup": round(report.speedup, 4),
         "pct_sequential": round(report.pct_sequential, 4),
         "copy_out": [
@@ -83,9 +86,17 @@ def analysis_stats_dict(stats: AnalysisStats) -> dict[str, int]:
 
 
 def result_to_dict(
-    result: CompilationResult, name: str | None = None
+    result: CompilationResult,
+    name: str | None = None,
+    audit: "Any | None" = None,
 ) -> dict[str, Any]:
-    """A whole compilation result as a JSON-ready dict."""
+    """A whole compilation result as a JSON-ready dict.
+
+    *audit* is an optional :class:`~repro.audit.AuditReport`; when given
+    its counters and diagnostics ride under the ``"audit"`` key (the
+    form ``EngineTelemetry.note_result`` folds and the batch workers
+    ship).
+    """
     out: dict[str, Any] = {
         "loops": [loop_report_row(r) for r in result.loops],
         "parallel_loops": len(result.parallel_loops()),
@@ -95,6 +106,8 @@ def result_to_dict(
         # "stats" stays a flat int dict the roll-up can fold blindly
         "symbolic": dict(result.analyzer.stats.symbolic),
     }
+    if audit is not None:
+        out["audit"] = audit.to_payload()
     if name is not None:
         out["name"] = name
     return out
@@ -146,6 +159,22 @@ class EngineTelemetry:
             "degraded_loops": 0,
         }
     )
+    #: static-audit counters (docs/auditing.md), folded from per-item
+    #: ``"audit"`` payloads; all zero when the audit did not run
+    audit: dict[str, int] = field(
+        default_factory=lambda: {
+            "audited_files": 0,
+            "loops_audited": 0,
+            "pairs_checked": 0,
+            "confirmed": 0,
+            "guarded": 0,
+            "undecided": 0,
+            "skipped": 0,
+            "oracle_conflicts": 0,
+            "lint": 0,
+            "sanitizer": 0,
+        }
+    )
     cache: CacheStats = field(default_factory=CacheStats)
     #: symbolic-kernel counter/cache deltas summed across results (flat
     #: ``repro.perf`` snapshot keys → numbers)
@@ -172,6 +201,11 @@ class EngineTelemetry:
                 self.stats[key] = self.stats.get(key, 0) + value
         for key, value in payload.get("symbolic", {}).items():
             self.symbolic[key] = self.symbolic.get(key, 0) + value
+        audit = payload.get("audit")
+        if audit is not None:
+            self.audit["audited_files"] += 1
+            for key, value in audit.get("counts", {}).items():
+                self.audit[key] = self.audit.get(key, 0) + value
 
     def note_cache(self, stats: CacheStats) -> None:
         """Fold one worker's cache counters into the roll-up."""
@@ -190,6 +224,7 @@ class EngineTelemetry:
             "cache": self.cache.as_dict(),
             "symbolic": dict(self.symbolic),
             "resilience": dict(self.resilience),
+            "audit": dict(self.audit),
         }
 
     def to_json(self, indent: int | None = 2) -> str:

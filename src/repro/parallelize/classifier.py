@@ -14,6 +14,7 @@ paper prescribes (flow first, then output, then anti):
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -21,8 +22,27 @@ from ..dataflow.analyzer import SummaryAnalyzer
 from ..dataflow.context import LoopSummaryRecord
 from ..hsg.nodes import LoopNode
 from ..privatize.privatizer import LoopPrivatization, privatize_loop
+from ..resilience import faults
 from .loop_analysis import DependenceReport, loop_dependences
 from .reductions import Reduction, find_reductions
+
+_OPAQUE_RE = re.compile(r"@(\d+)")
+
+
+def _stable_opaques(text: str) -> str:
+    """Renumber opaque-symbol ids (``name@k``) by first appearance.
+
+    The interner's counter is process-global, so the raw ids depend on
+    what else the process analyzed; renumbering keeps the printed
+    conflicts identical between sequential and pooled runs (equal ids
+    still print equal, distinct ids distinct).
+    """
+    seen: dict[str, str] = {}
+
+    def sub(match: re.Match) -> str:
+        return seen.setdefault(match.group(1), f"@{len(seen) + 1}")
+
+    return _OPAQUE_RE.sub(sub, text)
 
 
 class LoopStatus(Enum):
@@ -86,13 +106,34 @@ class LoopVerdict:
             return LoopStatus.PARALLEL_AFTER_PRIVATIZATION
         return LoopStatus.SERIAL
 
+    def conflicts(self) -> dict[str, str]:
+        """The privatizer's recorded offending intersections, by variable.
+
+        For every candidate that failed the ``MOD_<i ∩ UE_i = ∅`` test,
+        the privatizer records the non-empty intersection — the exact
+        GAR(s) flowing between iterations.  Surfaced here (and in the
+        ``--json`` report) so a failed privatization is actionable.
+        """
+        if self.privatization is None:
+            return {}
+        return {
+            v.name: _stable_opaques(str(v.conflict))
+            for v in self.privatization.failed()
+            if len(v.conflict)
+        }
+
     def describe(self) -> str:
         """Multi-line human-readable verdict."""
         head = f"{self.routine}/{self.source_label or self.var}: {self.status.value}"
         lines = [head]
+        conflicts = self.conflicts()
         for f in self.findings:
             if f.action != "none":
                 lines.append(f"  {f.name}: {f.action} ({f.detail})")
+                if f.name in conflicts:
+                    lines.append(
+                        f"    offending intersection: {conflicts[f.name]}"
+                    )
         for reason in self.serial_reasons:
             lines.append(f"  ! {reason}")
         return "\n".join(lines)
@@ -220,6 +261,14 @@ def classify_loop(
         verdict.status = LoopStatus.PARALLEL_AFTER_PRIVATIZATION
     elif verdict.reductions:
         verdict.status = LoopStatus.PARALLEL_WITH_REDUCTION
+    # fault-injection seam (chaos/audit testing only): pretend the
+    # classifier misreported a non-parallel loop as parallel, so the
+    # static auditor's detection path can be exercised end to end
+    if verdict.status in (LoopStatus.SERIAL, LoopStatus.UNKNOWN):
+        key = f"{unit_name}/{loop.source_label or loop.var}"
+        if faults.should_fire("classifier.misreport", key=key):
+            verdict.status = LoopStatus.PARALLEL
+            verdict.serial_reasons = []
     return verdict
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..symbolic import Comparer, Predicate, predicate_implies
+from . import sanitize
 from .gar import GAR, GARList
 from .gar_simplify import simplify_gar_list
 from .region_ops import region_difference, region_intersect, region_union
@@ -110,7 +111,10 @@ def gar_subtract(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
 
 def union_lists(a: GARList, b: GARList, cmp: Comparer) -> GARList:
     """Union of two summaries, simplified."""
-    return simplify_gar_list(a.union(b), cmp)
+    result = simplify_gar_list(a.union(b), cmp)
+    if sanitize.enabled():
+        sanitize.check("union", a, b, result)
+    return result
 
 
 def intersect_lists(a: GARList, b: GARList, cmp: Comparer) -> GARList:
@@ -121,7 +125,10 @@ def intersect_lists(a: GARList, b: GARList, cmp: Comparer) -> GARList:
             if x.array != y.array:
                 continue
             out = out.union(gar_intersect(x, y, cmp))
-    return simplify_gar_list(out, cmp)
+    result = simplify_gar_list(out, cmp)
+    if sanitize.enabled():
+        sanitize.check("intersect", a, b, result)
+    return result
 
 
 def subtract_lists(minuend: GARList, subtrahend: GARList, cmp: Comparer) -> GARList:
@@ -138,6 +145,8 @@ def subtract_lists(minuend: GARList, subtrahend: GARList, cmp: Comparer) -> GARL
             else:
                 next_pieces = next_pieces.union(gar_subtract(x, y, cmp))
         current = simplify_gar_list(next_pieces, cmp)
+    if sanitize.enabled():
+        sanitize.check("subtract", minuend, subtrahend, current)
     return current
 
 

@@ -1,0 +1,165 @@
+"""Unit tests for the structured-diagnostics layer (codes, renderers,
+SARIF export)."""
+
+import json
+
+import pytest
+
+from repro.diagnostics import (
+    RULES,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    diagnostic_from_dict,
+    diagnostic_to_dict,
+    render_diagnostic,
+    render_text,
+    resolve_span,
+    sarif_log,
+    sort_key,
+    write_sarif,
+)
+
+SOURCE = """\
+      subroutine s(a, n)
+      integer n
+      real a(100)
+      do 10 i = 1, n
+         a(i) = a(i) + 1.0
+   10 continue
+      end
+"""
+
+
+class TestRules:
+    def test_registry_is_consistent(self):
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert code.startswith("PAN")
+            assert rule.name and rule.short
+            assert isinstance(rule.severity, Severity)
+
+    def test_expected_codes_present(self):
+        assert {
+            "PAN101", "PAN102", "PAN103", "PAN104",
+            "PAN201", "PAN202", "PAN203",
+            "PAN301", "PAN302",
+        } <= set(RULES)
+
+    def test_severity_defaults(self):
+        assert RULES["PAN101"].severity is Severity.ERROR
+        assert RULES["PAN102"].severity is Severity.NOTE
+        assert RULES["PAN103"].severity is Severity.WARNING
+        assert RULES["PAN201"].severity is Severity.WARNING
+        assert RULES["PAN301"].severity is Severity.ERROR
+        assert RULES["PAN302"].severity is Severity.ERROR
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="PAN999", message="nope")
+
+    def test_level_defaults_to_rule_severity(self):
+        assert Diagnostic("PAN101", "m").level is Severity.ERROR
+        assert Diagnostic("PAN102", "m").level is Severity.NOTE
+
+    def test_explicit_severity_wins(self):
+        diag = Diagnostic("PAN102", "m", severity=Severity.ERROR)
+        assert diag.level is Severity.ERROR
+
+    def test_sort_key_orders_by_severity(self):
+        diags = [
+            Diagnostic("PAN102", "note"),
+            Diagnostic("PAN101", "error"),
+            Diagnostic("PAN201", "warning"),
+        ]
+        ordered = sorted(diags, key=sort_key)
+        assert [d.code for d in ordered] == ["PAN101", "PAN201", "PAN102"]
+
+
+class TestSpans:
+    def test_resolve_span_snippets_the_logical_line(self):
+        span = resolve_span("s.f", 4, SOURCE)
+        assert span.file == "s.f"
+        assert span.lineno == 4
+        assert "do 10 i = 1, n" in span.snippet
+
+    def test_resolve_span_without_source(self):
+        span = resolve_span("s.f", 4, None)
+        assert span == SourceSpan(file="s.f", lineno=4)
+
+
+class TestRender:
+    def test_text_format(self):
+        diag = Diagnostic(
+            "PAN101", "boom", span=resolve_span("s.f", 4, SOURCE)
+        )
+        text = render_diagnostic(diag)
+        assert text.startswith("s.f:4: error: boom [PAN101]")
+        assert "do 10 i = 1, n" in text
+
+    def test_render_text_sorts_by_severity(self):
+        text = render_text(
+            [Diagnostic("PAN102", "later"), Diagnostic("PAN101", "first")]
+        )
+        assert text.index("[PAN101]") < text.index("[PAN102]")
+
+    def test_dict_roundtrip(self):
+        diag = Diagnostic(
+            "PAN103",
+            "guarded",
+            span=resolve_span("s.f", 5, SOURCE),
+            data={"loop": "s/10", "votes": {"gcd": "possible"}},
+        )
+        back = diagnostic_from_dict(diagnostic_to_dict(diag))
+        assert back.code == diag.code
+        assert back.message == diag.message
+        assert back.level is diag.level
+        assert back.span == diag.span
+        assert back.data == diag.data
+
+
+class TestSarif:
+    def diags(self):
+        return [
+            Diagnostic("PAN101", "race", span=resolve_span("s.f", 4, SOURCE)),
+            Diagnostic("PAN102", "unknown", span=resolve_span("s.f", 5, SOURCE)),
+            Diagnostic("PAN301", "algebra", data={"op": "union"}),
+        ]
+
+    def test_log_shape(self):
+        log = sarif_log(self.diags())
+        assert log["version"] == "2.1.0"
+        assert "sarif-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"]
+        assert driver["informationUri"]
+        rules = driver["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == sorted(ids) and len(ids) == len(set(ids))
+        # only the codes actually used are declared
+        assert set(ids) == {"PAN101", "PAN102", "PAN301"}
+        for res in run["results"]:
+            assert res["level"] in ("error", "warning", "note")
+            assert res["message"]["text"]
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+    def test_locations_shape(self):
+        log = sarif_log(self.diags())
+        located = [
+            r for r in log["runs"][0]["results"] if r.get("locations")
+        ]
+        assert located
+        for res in located:
+            phys = res["locations"][0]["physicalLocation"]
+            assert phys["artifactLocation"]["uri"] == "s.f"
+            assert phys["region"]["startLine"] >= 1
+
+    def test_write_sarif(self, tmp_path):
+        path = tmp_path / "out.sarif"
+        write_sarif(self.diags(), path)
+        data = json.loads(path.read_text())
+        assert data["version"] == "2.1.0"
+        assert len(data["runs"][0]["results"]) == 3

@@ -1,0 +1,114 @@
+"""Unit tests for the front-end lint (PAN2xx diagnostics)."""
+
+from repro.audit import lint_program
+from repro.dataflow import AnalysisOptions
+from repro.driver.panorama import Panorama
+
+
+def lint_source(source: str, name: str = "t.f"):
+    result = Panorama(AnalysisOptions(), run_machine_model=False).compile(
+        source
+    )
+    return lint_program(result, name, source)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+PREMATURE_EXIT = """\
+      subroutine s(a, b, n)
+      integer n
+      real a(100), b(100)
+      do 10 i = 1, n
+         if (b(i) .gt. 0.0) goto 99
+         a(i) = 0.0
+   10 continue
+   99 continue
+      end
+"""
+
+BACKWARD_GOTO = """\
+      subroutine s(a, n)
+      integer n, k
+      real a(100)
+      k = 1
+   10 continue
+      a(k) = 1.0
+      k = k + 1
+      if (k .le. n) goto 10
+      end
+"""
+
+DUPLICATE_ACTUAL = """\
+      subroutine caller(n)
+      integer n
+      real a(100)
+      call work(a, a, n)
+      end
+      subroutine work(x, y, n)
+      integer n
+      real x(100), y(100)
+      do 10 i = 1, n
+         x(i) = y(i)
+   10 continue
+      end
+"""
+
+COMMON_ALIAS = """\
+      subroutine caller(n)
+      integer n
+      common /blk/ a
+      real a(100)
+      call work(a, n)
+      end
+      subroutine work(x, n)
+      integer n
+      common /blk/ a
+      real a(100), x(100)
+      do 10 i = 1, n
+         x(i) = a(i)
+   10 continue
+      end
+"""
+
+CLEAN = """\
+      subroutine s(a, b)
+      real a(100), b(100)
+      do 10 i = 1, 100
+         a(i) = b(i)
+   10 continue
+      end
+"""
+
+
+class TestLint:
+    def test_clean_program_has_no_findings(self):
+        assert lint_source(CLEAN) == []
+
+    def test_premature_exit_is_pan201(self):
+        diags = lint_source(PREMATURE_EXIT)
+        assert "PAN201" in codes(diags)
+        (diag,) = [d for d in diags if d.code == "PAN201"]
+        assert "premature exit" in diag.message
+        assert diag.span is not None
+        assert "do 10 i = 1, n" in diag.span.snippet
+
+    def test_condensed_cycle_is_pan202(self):
+        diags = lint_source(BACKWARD_GOTO)
+        assert "PAN202" in codes(diags)
+        (diag,) = [d for d in diags if d.code == "PAN202"]
+        assert "condensed" in diag.message
+
+    def test_duplicate_actual_is_pan203(self):
+        diags = lint_source(DUPLICATE_ACTUAL)
+        matches = [d for d in diags if d.code == "PAN203"]
+        assert matches
+        assert "passed more than once" in matches[0].message
+        assert matches[0].data["callee"] == "work"
+
+    def test_common_alias_is_pan203(self):
+        diags = lint_source(COMMON_ALIAS)
+        matches = [d for d in diags if d.code == "PAN203"]
+        assert matches
+        assert "COMMON" in matches[0].message
