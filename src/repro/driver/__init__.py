@@ -2,6 +2,7 @@
 
 from .panorama import (
     CompilationResult,
+    CompositeHooks,
     LoopReport,
     Panorama,
     PipelineHooks,
@@ -11,6 +12,7 @@ from .report import format_table, yes_no
 
 __all__ = [
     "CompilationResult",
+    "CompositeHooks",
     "LoopReport",
     "Panorama",
     "PipelineHooks",

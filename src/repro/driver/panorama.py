@@ -127,8 +127,49 @@ class PipelineHooks:
     def attach(self, analyzer: SummaryAnalyzer, hsg: HSG) -> None:
         """Called once per compile, before loop processing."""
 
+    def loop_done(self, report: "LoopReport") -> None:
+        """Called after each loop's verdict is appended to the result.
+
+        The streaming seam: the analysis daemon turns these calls into
+        NDJSON ``loop_verdict`` events while the compile is still
+        running.  Fires in ``hsg.all_loops()`` order (outermost first,
+        routines in program order), before the machine model runs, so
+        ``report.speedup``/``report.cost`` are not final yet.
+        """
+
     def finish(self, result: "CompilationResult") -> None:
         """Called once per compile, after the result is fully built."""
+
+
+class CompositeHooks(PipelineHooks):
+    """Fan one compile's hook events out to several hook objects.
+
+    Lets a caller combine orthogonal hooks — e.g. the engine's
+    ``CachingHooks`` plus the server's streaming event hooks — without
+    either knowing about the other.  Hooks are called in the order
+    given; ``None`` entries are dropped.
+    """
+
+    def __init__(self, *hooks: PipelineHooks | None) -> None:
+        self.hooks = [h for h in hooks if h is not None]
+
+    def attach(self, analyzer: SummaryAnalyzer, hsg: HSG) -> None:
+        """Forward ``attach`` to every child hook in order."""
+        for hook in self.hooks:
+            hook.attach(analyzer, hsg)
+
+    def loop_done(self, report: "LoopReport") -> None:
+        """Forward ``loop_done`` to every child that implements it."""
+        for hook in self.hooks:
+            # CachingHooks predates loop_done and is duck-typed
+            done = getattr(hook, "loop_done", None)
+            if done is not None:
+                done(report)
+
+    def finish(self, result: "CompilationResult") -> None:
+        """Forward ``finish`` to every child hook in order."""
+        for hook in self.hooks:
+            hook.finish(result)
 
 
 class Panorama:
@@ -177,6 +218,10 @@ class Panorama:
             for unit_name, loop in hsg.all_loops():
                 report = self._process_loop(analyzer, unit_name, loop, timings)
                 result.loops.append(report)
+                if self.hooks is not None:
+                    done = getattr(self.hooks, "loop_done", None)
+                    if done is not None:
+                        done(report)
 
         if self.run_machine_model:
             t0 = time.perf_counter()

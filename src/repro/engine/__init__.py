@@ -38,7 +38,12 @@ from .cache import (
     options_key,
     unit_source_hash,
 )
-from .incremental import IncrementalEngine, IncrementalReport, IncrementalResult
+from .incremental import (
+    IncrementalEngine,
+    IncrementalReport,
+    IncrementalResult,
+    diff_revisions,
+)
 from .telemetry import (
     EngineTelemetry,
     analysis_stats_dict,
@@ -63,6 +68,7 @@ __all__ = [
     "RoutineCacheEntry",
     "SummaryCache",
     "analysis_stats_dict",
+    "diff_revisions",
     "fingerprint_program",
     "items_from_kernel_registry",
     "items_from_paths",

@@ -24,7 +24,12 @@ from .cache import CachingHooks, SummaryCache
 
 @dataclass
 class IncrementalReport:
-    """What one re-analysis actually had to do."""
+    """The invalidation report: what one re-analysis actually had to do.
+
+    Public contract of the watch path — the analysis daemon's
+    ``POST /v1/watch`` responses serialize this via :meth:`to_dict`, and
+    :func:`diff_revisions` builds it without touching engine internals.
+    """
 
     name: str
     #: routines whose own normalized source changed since last revision
@@ -38,12 +43,75 @@ class IncrementalReport:
     #: fingerprints by routine, the new revision
     fingerprints: dict[str, str] = field(default_factory=dict)
 
+    def affected(self) -> list[str]:
+        """Routines whose verdicts may have moved since last revision:
+        the union of own-source changes and callee invalidations."""
+        return sorted(set(self.changed) | set(self.invalidated))
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (fingerprints are dropped: they are cache
+        keys, not part of the watch protocol)."""
+        return {
+            "name": self.name,
+            "changed": list(self.changed),
+            "invalidated": list(self.invalidated),
+            "reused": list(self.reused),
+            "computed": list(self.computed),
+        }
+
     def summary_line(self) -> str:
         return (
             f"{self.name}: {len(self.changed)} changed, "
             f"{len(self.invalidated)} invalidated via callees, "
             f"{len(self.reused)} reused from cache"
         )
+
+
+def diff_revisions(
+    name: str,
+    previous: Mapping[str, str],
+    hooks: CachingHooks,
+) -> IncrementalReport:
+    """Build the invalidation report for one re-analysis.
+
+    *previous* maps routine → normalized-source hash of the prior
+    revision (empty on the first revision); *hooks* is the
+    :class:`~repro.engine.cache.CachingHooks` instance that rode the
+    just-finished compile (its ``unit_hashes``/``callees``/``reused``/
+    ``computed`` fields describe the new revision).
+    """
+    report = IncrementalReport(
+        name=name,
+        reused=sorted(hooks.reused),
+        computed=sorted(hooks.computed),
+        fingerprints=dict(hooks.fingerprints),
+    )
+    if not previous:
+        # first revision: everything is "changed" by definition
+        report.changed = sorted(hooks.fingerprints)
+        return report
+    own_changed = {
+        routine
+        for routine, h in hooks.unit_hashes.items()
+        if previous.get(routine) != h
+    }
+    # propagate to transitive callers: those summaries are stale even
+    # though their own source is untouched (the callee-transitive
+    # fingerprint already made them cache misses)
+    invalidated: set[str] = set()
+    frontier = set(own_changed)
+    while frontier:
+        nxt: set[str] = set()
+        for routine, callees in hooks.callees.items():
+            if routine in own_changed or routine in invalidated:
+                continue
+            if callees & frontier:
+                nxt.add(routine)
+        invalidated |= nxt
+        frontier = nxt
+    report.changed = sorted(own_changed)
+    report.invalidated = sorted(invalidated)
+    return report
 
 
 @dataclass
@@ -85,43 +153,14 @@ class IncrementalEngine:
             hooks=hooks,
         )
         result = panorama.compile(source)
-        report = self._diff_report(name, hooks)
+        report = self.diff_report(name, hooks)
         self._previous[name] = dict(hooks.unit_hashes)
         return IncrementalResult(result=result, report=report)
 
-    # -- internals ----------------------------------------------------------------
+    def diff_report(self, name: str, hooks: CachingHooks) -> IncrementalReport:
+        """Invalidation report of *hooks* against the remembered revision
+        of *name* (does not advance the remembered revision)."""
+        return diff_revisions(name, self._previous.get(name, {}), hooks)
 
-    def _diff_report(self, name: str, hooks: CachingHooks) -> IncrementalReport:
-        previous = self._previous.get(name, {})
-        report = IncrementalReport(
-            name=name,
-            reused=sorted(hooks.reused),
-            computed=sorted(hooks.computed),
-            fingerprints=dict(hooks.fingerprints),
-        )
-        if not previous:
-            # first revision: everything is "changed" by definition
-            report.changed = sorted(hooks.fingerprints)
-            return report
-        own_changed = {
-            routine
-            for routine, h in hooks.unit_hashes.items()
-            if previous.get(routine) != h
-        }
-        # propagate to transitive callers: those summaries are stale even
-        # though their own source is untouched (the callee-transitive
-        # fingerprint already made them cache misses)
-        invalidated: set[str] = set()
-        frontier = set(own_changed)
-        while frontier:
-            nxt: set[str] = set()
-            for routine, callees in hooks.callees.items():
-                if routine in own_changed or routine in invalidated:
-                    continue
-                if callees & frontier:
-                    nxt.add(routine)
-            invalidated |= nxt
-            frontier = nxt
-        report.changed = sorted(own_changed)
-        report.invalidated = sorted(invalidated)
-        return report
+    #: kept for callers written against the pre-public spelling
+    _diff_report = diff_report

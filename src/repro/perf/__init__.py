@@ -10,13 +10,16 @@ from .profiler import (
     MISS,
     BoundedCache,
     Counters,
+    Probe,
     add_time,
     caches,
     clear_caches,
     delta,
     disable,
     enable,
+    hit_rate,
     is_enabled,
+    probe,
     reset,
     reset_timers,
     resize_caches,
@@ -30,13 +33,16 @@ __all__ = [
     "COUNTERS",
     "Counters",
     "MISS",
+    "Probe",
     "add_time",
     "caches",
     "clear_caches",
     "delta",
     "disable",
     "enable",
+    "hit_rate",
     "is_enabled",
+    "probe",
     "reset",
     "reset_timers",
     "resize_caches",

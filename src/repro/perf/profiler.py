@@ -288,6 +288,60 @@ def delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]
     }
 
 
+class Probe:
+    """Delta scope over every gauge: one request's worth of activity.
+
+    The analysis daemon opens a probe per request so each response can
+    carry the symbolic counters *that request* caused, not the resident
+    process's lifetime totals.  Works as a context manager or via
+    explicit :meth:`finish`; ``probe.delta`` holds the flat
+    :func:`snapshot`-keyed difference afterwards.
+    """
+
+    __slots__ = ("before", "delta")
+
+    def __init__(self) -> None:
+        self.before: Dict[str, float] = snapshot()
+        self.delta: Dict[str, float] = {}
+
+    def finish(self) -> Dict[str, float]:
+        """Close the scope; returns (and stores) the gauge delta."""
+        self.delta = delta(self.before, snapshot())
+        return self.delta
+
+    def __enter__(self) -> "Probe":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+
+def probe() -> Probe:
+    """Open a :class:`Probe` at the current gauge values."""
+    return Probe()
+
+
+def hit_rate(snap: Dict[str, float], prefix: str = "cache.") -> float | None:
+    """Aggregate hit rate over the ``<prefix>*.hits/.misses`` gauges.
+
+    Accepts a full :func:`snapshot` or a :func:`delta`; returns ``None``
+    when the slice saw no lookups at all (0/0 is not a rate).
+    """
+    hits = 0.0
+    misses = 0.0
+    for key, value in snap.items():
+        if not key.startswith(prefix):
+            continue
+        if key.endswith(".hits"):
+            hits += value
+        elif key.endswith(".misses"):
+            misses += value
+    total = hits + misses
+    if total <= 0:
+        return None
+    return hits / total
+
+
 def reset() -> None:
     """Zero the counters and timers (cache contents are untouched)."""
     COUNTERS.reset()

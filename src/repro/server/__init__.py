@@ -1,0 +1,38 @@
+"""Panorama-as-a-service: the resident asyncio analysis daemon.
+
+The batch/incremental/resilience layers built around the pipeline all
+amortize cost *within* one process — and every CLI invocation throws
+that warmth away.  This package keeps it: a long-lived stdlib-only
+``asyncio`` HTTP/JSON daemon (``panorama-serve``) holding the interned
+symbolic tables, proof memos, and the content-addressed summary cache
+resident across requests.
+
+* :mod:`repro.server.service` — :class:`AnalysisService`, the
+  synchronous core: resident caches, typed request errors, per-request
+  budgets and perf probes, watch sessions;
+* :mod:`repro.server.app` — :class:`PanoramaServer`, the asyncio layer:
+  routing, the single-analysis-thread executor, admission control
+  (bounded in-flight, 429 + Retry-After), NDJSON streaming;
+  :class:`ServerThread` for in-process deployments (tests, benchmarks);
+* :mod:`repro.server.http` — minimal HTTP/1.1 plumbing;
+* :mod:`repro.server.client` — :class:`PanoramaClient`, the thin
+  stdlib client;
+* :mod:`repro.server.cli` — the ``panorama-serve`` entry point and its
+  ``--selftest`` loopback mode.
+
+See docs/server.md for the endpoint and event schemas.
+"""
+
+from .app import PanoramaServer, ServerThread
+from .client import PanoramaClient, ServiceError
+from .service import AnalysisService, RequestError, ServerConfig
+
+__all__ = [
+    "AnalysisService",
+    "PanoramaClient",
+    "PanoramaServer",
+    "RequestError",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceError",
+]

@@ -1,0 +1,196 @@
+"""Thin stdlib client for the ``panorama-serve`` daemon.
+
+Pure :mod:`http.client` + :mod:`json` — no dependencies — so the test
+suite, CI, and the benchmarks can drive the full HTTP request path with
+nothing but the standard library.  One connection per request: the
+daemon's win is resident *analysis* state, not connection reuse, and
+fresh connections keep the client trivially correct around streamed
+(EOF-terminated) responses.
+
+    client = PanoramaClient(port=8321)
+    payload = client.analyze(source, name="loop.f")
+    for event in client.analyze_stream(source):
+        print(event["event"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator, Optional
+
+
+class ServiceError(Exception):
+    """A non-2xx daemon response, with its status and decoded payload."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        retry_after: Optional[float] = None,
+    ) -> None:
+        err = payload.get("error", {}) if isinstance(payload, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {err.get('kind', '?')}: "
+            f"{err.get('message', 'no detail')}"
+        )
+        self.status = status
+        self.payload = payload
+        #: typed error kind (repro.errors taxonomy / "request" / "saturated")
+        self.kind = err.get("kind")
+        #: seconds from a 429's Retry-After header, when present
+        self.retry_after = retry_after
+
+
+class PanoramaClient:
+    """Client for one daemon instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Any | None = None
+    ) -> dict[str, Any]:
+        """One JSON request/response round trip; raises ServiceError on
+        non-2xx statuses."""
+        conn = self._connect()
+        try:
+            self._send(conn, method, path, body)
+            resp = conn.getresponse()
+            data = resp.read()
+        finally:
+            conn.close()
+        return self._decode(resp, data)
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    @staticmethod
+    def _send(conn, method: str, path: str, body: Any | None) -> None:
+        headers = {"Accept": "application/json"}
+        encoded = None
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=encoded, headers=headers)
+
+    @staticmethod
+    def _decode(resp, data: bytes) -> dict[str, Any]:
+        try:
+            payload = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            payload = {"error": {"kind": "protocol", "message": data[:200].decode(
+                "utf-8", "replace")}}
+        if resp.status >= 400:
+            retry_after = resp.headers.get("Retry-After")
+            raise ServiceError(
+                resp.status,
+                payload,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return payload
+
+    # -- endpoints ----------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/stats")
+
+    def analyze(
+        self,
+        source: str,
+        name: str = "<request>",
+        options: dict[str, Any] | None = None,
+        sizes: dict[str, int] | None = None,
+        audit: bool | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/analyze``: the full verdict payload."""
+        return self.request("POST", "/v1/analyze", self._body(
+            source, name, options, sizes, audit
+        ))
+
+    def analyze_stream(
+        self,
+        source: str,
+        name: str = "<request>",
+        options: dict[str, Any] | None = None,
+        sizes: dict[str, int] | None = None,
+        audit: bool | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """``POST /v1/analyze?stream=1``: yields NDJSON events as the
+        daemon produces them; the last event is ``done`` or ``error``."""
+        conn = self._connect()
+        try:
+            self._send(
+                conn,
+                "POST",
+                "/v1/analyze?stream=1",
+                self._body(source, name, options, sizes, audit),
+            )
+            resp = conn.getresponse()
+            if resp.status != 200:
+                self._decode(resp, resp.read())  # raises ServiceError
+            # EOF-terminated NDJSON: one JSON document per line
+            for raw in resp:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _body(source, name, options, sizes, audit) -> dict[str, Any]:
+        body: dict[str, Any] = {"source": source, "name": name}
+        if options:
+            body["options"] = options
+        if sizes:
+            body["sizes"] = sizes
+        if audit is not None:
+            body["audit"] = audit
+        return body
+
+    # -- watch sessions -----------------------------------------------------------
+
+    def watch_open(
+        self,
+        name: str = "<watch>",
+        options: dict[str, Any] | None = None,
+        audit: bool | None = None,
+    ) -> str:
+        """Open a watch session; returns its id."""
+        body: dict[str, Any] = {"name": name}
+        if options:
+            body["options"] = options
+        if audit is not None:
+            body["audit"] = audit
+        return self.request("POST", "/v1/watch", body)["session"]
+
+    def watch_submit(
+        self,
+        session: str,
+        source: str,
+        name: str = "<watch>",
+        sizes: dict[str, int] | None = None,
+    ) -> dict[str, Any]:
+        """Submit a revision; returns the invalidation report + the
+        verdicts of the routines the edit touched."""
+        body: dict[str, Any] = {"source": source, "name": name}
+        if sizes:
+            body["sizes"] = sizes
+        return self.request("POST", f"/v1/watch/{session}", body)
+
+    def watch_close(self, session: str) -> dict[str, Any]:
+        return self.request("DELETE", f"/v1/watch/{session}")

@@ -1,0 +1,496 @@
+"""The daemon's synchronous core: resident caches + request handling.
+
+:class:`AnalysisService` owns everything that makes a resident process
+worth running — the content-addressed :class:`~repro.engine.cache.SummaryCache`
+(memory tier, optionally disk-backed), the process-global interning and
+proof-memo tables in :mod:`repro.symbolic` (warm by virtue of the
+process staying alive), and the watch sessions' incremental engines —
+and exposes plain-Python request methods the asyncio layer calls from
+its single analysis thread.
+
+Request semantics (docs/server.md):
+
+* **typed errors, not crashes** — every failure becomes a
+  :class:`RequestError` carrying the HTTP status mapped from the
+  :func:`repro.errors.classify_exception` taxonomy: bad source / refused
+  programs → 422, malformed request shapes → 400, anything else → 500.
+  The resident caches survive all of them: the summary cache is
+  content-addressed (a failed compile stores nothing under a key a good
+  compile would read), and the interning tables only ever hold
+  value-identical entries.
+* **budgets degrade in band** — per-request budgets (request-supplied,
+  clamped to the server's configured ceilings) never fail a request;
+  exhaustion produces conservative ``unknown (budget)`` verdicts marked
+  ``degraded`` in the payload, exactly like the CLI's exit-3 path.
+* **per-request observability** — each response carries the
+  :mod:`repro.perf` gauge delta *this request* caused (a
+  :class:`~repro.perf.profiler.Probe` scope) plus the summary-cache
+  delta, so clients can watch the resident caches get warm.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .. import __version__
+from ..dataflow.context import AnalysisOptions
+from ..driver.panorama import (
+    CompilationResult,
+    CompositeHooks,
+    LoopReport,
+    Panorama,
+    PipelineHooks,
+)
+from ..engine.cache import CachingHooks, SummaryCache
+from ..engine.incremental import IncrementalEngine
+from ..engine.telemetry import EngineTelemetry, loop_report_row, result_to_dict
+from ..errors import ReproError, classify_exception
+from ..perf import profiler
+
+#: event type tags of the NDJSON stream, in emission order
+STREAM_EVENTS = ("routine_started", "loop_verdict", "diagnostic", "done")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, bound port is announced at startup
+    #: admission bound: analyze/watch requests running *or queued* on the
+    #: analysis thread; beyond it requests get 429 + Retry-After
+    max_inflight: int = 8
+    #: Retry-After seconds advertised with a 429
+    retry_after_s: float = 1.0
+    #: request body cap in bytes (413 beyond it)
+    max_body_bytes: int = 4_000_000
+    #: per-request budget ceilings; request budgets may only tighten
+    #: these (None = no ceiling)
+    budget_ms: Optional[float] = None
+    budget_steps: Optional[int] = None
+    #: optional disk tier for the summary cache (shared with the batch
+    #: engine's --cache-dir format)
+    cache_dir: Optional[str] = None
+    #: run the static soundness auditor on every analyze by default
+    #: (requests can override per call)
+    audit: bool = False
+
+
+class RequestError(Exception):
+    """A request-scoped failure with its HTTP mapping.
+
+    *kind* follows the :func:`repro.errors.classify_exception` taxonomy
+    plus the request-shape kinds ``"request"`` (bad field) and
+    ``"not-found"`` (unknown watch session).
+    """
+
+    def __init__(self, status: int, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.message = message
+
+    def body(self) -> dict[str, Any]:
+        return {
+            "error": {
+                "status": self.status,
+                "kind": self.kind,
+                "message": self.message,
+            }
+        }
+
+
+class _EventHooks(PipelineHooks):
+    """Turn pipeline progress into NDJSON stream events."""
+
+    def __init__(self, emit: Callable[[dict[str, Any]], None]) -> None:
+        self._emit = emit
+        self._routine: Optional[str] = None
+
+    def loop_done(self, report: LoopReport) -> None:
+        if report.routine != self._routine:
+            self._routine = report.routine
+            self._emit({"event": "routine_started", "routine": report.routine})
+        row = loop_report_row(report)
+        # events fire before the machine model runs; don't publish
+        # placeholder speedups the final payload will overwrite
+        row.pop("speedup", None)
+        row.pop("pct_sequential", None)
+        row["event"] = "loop_verdict"
+        self._emit(row)
+
+
+@dataclass
+class _WatchSession:
+    """One LSP-style watch: an incremental engine pinned to options."""
+
+    sid: str
+    name: str
+    engine: IncrementalEngine
+    options: AnalysisOptions
+    audit: bool
+    revisions: int = 0
+    created_at: float = field(default_factory=time.time)
+
+
+class AnalysisService:
+    """Resident-state request handler behind ``panorama-serve``.
+
+    Analysis entry points (:meth:`analyze`, :meth:`analyze_stream`,
+    :meth:`watch_submit`) must be called from a single thread at a time
+    — the asyncio layer guarantees that with its one-worker executor.
+    :meth:`health` / :meth:`stats` are read-only and safe from the event
+    loop thread.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.cache = SummaryCache(self.config.cache_dir)
+        self.telemetry = EngineTelemetry()
+        self.started_monotonic = time.monotonic()
+        self.started_at = time.time()
+        #: request counts by endpoint
+        self.requests: dict[str, int] = {
+            "analyze": 0,
+            "analyze_stream": 0,
+            "watch_open": 0,
+            "watch_submit": 0,
+            "watch_close": 0,
+            "health": 0,
+            "stats": 0,
+        }
+        #: response counts by HTTP status
+        self.responses: dict[str, int] = {}
+        #: admission gauges, mutated by the asyncio layer
+        self.admission: dict[str, int] = {"in_flight": 0, "rejected": 0}
+        self._watch_sessions: dict[str, _WatchSession] = {}
+        self._watch_seq = itertools.count(1)
+
+    # -- request bookkeeping ------------------------------------------------------
+
+    def note_request(self, endpoint: str) -> None:
+        self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def note_response(self, status: int) -> None:
+        key = str(status)
+        self.responses[key] = self.responses.get(key, 0) + 1
+
+    # -- request parsing ----------------------------------------------------------
+
+    def _source_of(self, body: Any) -> tuple[str, str]:
+        """Extract (name, source) from a request body; 400 on bad shape."""
+        if not isinstance(body, dict):
+            raise RequestError(400, "request", "request body must be a JSON object")
+        source = body.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise RequestError(
+                400, "request", 'missing or empty "source" field (Fortran text)'
+            )
+        name = body.get("name", "<request>")
+        if not isinstance(name, str) or not name:
+            raise RequestError(400, "request", '"name" must be a non-empty string')
+        return name, source
+
+    def _sizes_of(self, body: dict[str, Any]) -> dict[str, int]:
+        sizes = body.get("sizes") or {}
+        if not isinstance(sizes, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
+            for k, v in sizes.items()
+        ):
+            raise RequestError(
+                400, "request", '"sizes" must map symbol names to integers'
+            )
+        return dict(sizes)
+
+    def build_options(self, body: dict[str, Any]) -> AnalysisOptions:
+        """Request options → :class:`AnalysisOptions`, budgets clamped.
+
+        A request may only *tighten* the server's budget ceilings — a
+        client cannot buy itself an unlimited analysis on a daemon
+        configured to degrade at 200 ms.
+        """
+        raw = body.get("options") or {}
+        if not isinstance(raw, dict):
+            raise RequestError(400, "request", '"options" must be an object')
+        known = {"ablate", "no_fm", "budget_ms", "budget_steps"}
+        unknown = set(raw) - known
+        if unknown:
+            raise RequestError(
+                400, "request",
+                f"unknown option(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})",
+            )
+        ablate = raw.get("ablate") or []
+        if not isinstance(ablate, list) or not set(ablate) <= {"T1", "T2", "T3"}:
+            raise RequestError(
+                400, "request", '"ablate" must be a list drawn from T1/T2/T3'
+            )
+        budget_ms = self._clamped(raw, "budget_ms", self.config.budget_ms, float)
+        budget_steps = self._clamped(
+            raw, "budget_steps", self.config.budget_steps, int
+        )
+        return AnalysisOptions(
+            symbolic="T1" not in ablate,
+            if_conditions="T2" not in ablate,
+            interprocedural="T3" not in ablate,
+            use_fm=not raw.get("no_fm", False),
+            budget_ms=budget_ms,
+            budget_steps=budget_steps,
+        )
+
+    @staticmethod
+    def _clamped(raw, key, ceiling, cast):
+        value = raw.get(key)
+        if value is None:
+            return ceiling
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RequestError(400, "request", f'"{key}" must be a number')
+        if value <= 0:
+            raise RequestError(400, "request", f'"{key}" must be positive')
+        value = cast(value)
+        if ceiling is not None:
+            value = min(value, cast(ceiling))
+        return value
+
+    # -- analysis -----------------------------------------------------------------
+
+    def analyze(
+        self,
+        body: Any,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """One ``POST /v1/analyze`` request: source in, verdicts out."""
+        name, source = self._source_of(body)
+        options = self.build_options(body)
+        sizes = self._sizes_of(body)
+        run_audit = self._audit_of(body, self.config.audit)
+
+        t0 = time.perf_counter()
+        cache_before = self.cache.stats.copy()
+        hooks: PipelineHooks = CachingHooks(self.cache)
+        if on_event is not None:
+            hooks = CompositeHooks(hooks, _EventHooks(on_event))
+        with profiler.probe() as pr:
+            result = self._compile(
+                Panorama(options, sizes=sizes, hooks=hooks), source
+            )
+            audit_report = None
+            if run_audit:
+                from ..audit import audit_compilation
+
+                audit_report = audit_compilation(result, name, source=source)
+        payload = result_to_dict(result, name=name, audit=audit_report)
+        payload["degraded"] = bool(result.degraded_loops())
+        payload["request"] = self._request_block(
+            t0, pr, cache_before, result
+        )
+        self.telemetry.note_result(payload)
+        return payload
+
+    def analyze_stream(
+        self,
+        body: Any,
+        emit: Callable[[dict[str, Any]], None],
+    ) -> Optional[dict[str, Any]]:
+        """The streaming variant: emits NDJSON events as analysis runs.
+
+        Events: ``routine_started`` / ``loop_verdict`` while the compile
+        progresses, ``diagnostic`` per audit finding, then exactly one of
+        ``done`` (with the summary + per-request stats) or ``error``.
+        Returns the payload on success, ``None`` when an error event was
+        emitted (the HTTP status is already on the wire as an event — a
+        stream cannot change its status line retroactively).
+        """
+        try:
+            payload = self.analyze(body, on_event=emit)
+        except RequestError as exc:
+            emit({"event": "error", **exc.body()["error"]})
+            return None
+        for diag in (payload.get("audit") or {}).get("diagnostics", []):
+            emit({"event": "diagnostic", **diag})
+        emit(
+            {
+                "event": "done",
+                "name": payload.get("name"),
+                "loops": len(payload["loops"]),
+                "parallel_loops": payload["parallel_loops"],
+                "degraded": payload["degraded"],
+                "request": payload["request"],
+            }
+        )
+        return payload
+
+    def _compile(self, panorama: Panorama, source: str) -> CompilationResult:
+        """Run one compile, mapping failures onto the typed taxonomy."""
+        try:
+            return panorama.compile(source)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except ReproError as exc:
+            kind = classify_exception(exc)
+            # "budget" cannot reach here (SUM_* degrade in band), but if
+            # it ever did, failing the one request is the safe answer
+            status = 422 if kind in ("source", "analysis") else 500
+            raise RequestError(status, kind, str(exc)) from exc
+        except RecursionError as exc:
+            raise RequestError(
+                422, "analysis", "program nesting exceeds analyzer limits"
+            ) from exc
+        except MemoryError as exc:
+            raise RequestError(500, "oom", "analysis ran out of memory") from exc
+        except Exception as exc:
+            raise RequestError(
+                500, "internal", f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _request_block(
+        self, t0: float, pr: profiler.Probe, cache_before, result
+    ) -> dict[str, Any]:
+        """The per-request observability payload."""
+        symbolic = pr.delta
+        return {
+            "elapsed_ms": round((time.perf_counter() - t0) * 1000.0, 3),
+            "degraded_loops": len(result.degraded_loops()),
+            "summary_cache": self.cache.stats.delta(cache_before).as_dict(),
+            "symbolic": symbolic,
+            # hit rate of the symbolic memo/interning tables, this
+            # request only: the number that climbs as the daemon warms
+            "hit_rate": profiler.hit_rate(symbolic),
+        }
+
+    @staticmethod
+    def _audit_of(body: Any, default: bool) -> bool:
+        audit = body.get("audit", default) if isinstance(body, dict) else default
+        if not isinstance(audit, bool):
+            raise RequestError(400, "request", '"audit" must be a boolean')
+        return audit
+
+    # -- watch sessions -----------------------------------------------------------
+
+    def watch_open(self, body: Any) -> dict[str, Any]:
+        """Create a watch session pinned to one options set."""
+        body = body if isinstance(body, dict) else {}
+        options = self.build_options(body)
+        name = body.get("name", "<watch>")
+        if not isinstance(name, str) or not name:
+            raise RequestError(400, "request", '"name" must be a non-empty string')
+        sid = f"w{next(self._watch_seq)}"
+        self._watch_sessions[sid] = _WatchSession(
+            sid=sid,
+            name=name,
+            engine=IncrementalEngine(options, cache=self.cache),
+            options=options,
+            audit=self._audit_of(body, False),
+        )
+        return {"session": sid, "name": name}
+
+    def _watch(self, sid: str) -> _WatchSession:
+        session = self._watch_sessions.get(sid)
+        if session is None:
+            raise RequestError(404, "not-found", f"unknown watch session {sid!r}")
+        return session
+
+    def watch_submit(self, sid: str, body: Any) -> dict[str, Any]:
+        """Submit a (possibly edited) revision of the watched source.
+
+        The response reports only the loops of routines the edit
+        actually touched (changed + invalidated-via-callee); everything
+        served warm is summarized by name in ``report.reused``.
+        """
+        session = self._watch(sid)
+        name, source = self._source_of(body)
+        sizes = self._sizes_of(body)
+        t0 = time.perf_counter()
+        cache_before = self.cache.stats.copy()
+        with profiler.probe() as pr:
+            try:
+                inc = session.engine.analyze(
+                    source, name=session.name, sizes=sizes
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except ReproError as exc:
+                kind = classify_exception(exc)
+                status = 422 if kind in ("source", "analysis") else 500
+                raise RequestError(status, kind, str(exc)) from exc
+            except Exception as exc:
+                raise RequestError(
+                    500, "internal", f"{type(exc).__name__}: {exc}"
+                ) from exc
+        session.revisions += 1
+        audit_payload = None
+        if session.audit:
+            from ..audit import audit_compilation
+
+            audit_payload = audit_compilation(
+                inc.result, session.name, source=source
+            ).to_payload()
+        report = inc.report
+        affected = set(report.affected())
+        rows = [
+            loop_report_row(r)
+            for r in inc.result.loops
+            if r.routine in affected
+        ]
+        payload: dict[str, Any] = {
+            "session": sid,
+            "revision": session.revisions,
+            "name": name,
+            "report": report.to_dict(),
+            "loops": rows,
+            "total_loops": len(inc.result.loops),
+            "parallel_loops": len(inc.result.parallel_loops()),
+            "degraded": bool(inc.result.degraded_loops()),
+            "request": self._request_block(t0, pr, cache_before, inc.result),
+        }
+        if audit_payload is not None:
+            payload["audit"] = audit_payload
+        return payload
+
+    def watch_close(self, sid: str) -> dict[str, Any]:
+        session = self._watch_sessions.pop(sid, None)
+        if session is None:
+            raise RequestError(404, "not-found", f"unknown watch session {sid!r}")
+        return {"session": sid, "closed": True, "revisions": session.revisions}
+
+    # -- introspection ------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /v1/stats`` payload: every resident gauge at once."""
+        snap = profiler.snapshot()
+        telemetry = self.telemetry.as_dict()
+        return {
+            "server": {
+                "version": __version__,
+                "pid": os.getpid(),
+                "started_at": self.started_at,
+                "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+                "watch_sessions": len(self._watch_sessions),
+            },
+            "admission": {
+                "max_inflight": self.config.max_inflight,
+                "in_flight": self.admission["in_flight"],
+                "rejected": self.admission["rejected"],
+                "retry_after_s": self.config.retry_after_s,
+            },
+            "requests": dict(self.requests),
+            "responses": dict(self.responses),
+            # lifetime symbolic gauges + the headline warm-cache number
+            "perf": snap,
+            "hit_rate": profiler.hit_rate(snap),
+            "summary_cache": self.cache.stats.as_dict(),
+            # batch-style roll-up: timings/stats/resilience/audit counters
+            "telemetry": telemetry,
+        }

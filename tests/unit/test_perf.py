@@ -103,6 +103,70 @@ class TestRegistryAndSnapshot:
         assert profiler.COUNTERS.prove_calls == 0
 
 
+class TestProbe:
+    def test_probe_captures_only_scoped_activity(self):
+        SymExpr.var("probe_warmup")  # traffic before the scope
+        with profiler.probe() as pr:
+            SymExpr.var("probe_scoped") * 2 + 1
+        assert pr.delta  # the scoped expression work registered
+        assert all(v > 0 for v in pr.delta.values())
+        # keys are flat snapshot keys, subtractable and JSON-ready
+        assert all(isinstance(k, str) for k in pr.delta)
+
+    def test_quiet_scope_has_empty_delta(self):
+        with profiler.probe() as pr:
+            pass
+        assert pr.delta == {}
+
+    def test_finish_returns_and_stores(self):
+        pr = profiler.probe()
+        SymExpr.var("probe_finish") + 1
+        returned = pr.finish()
+        assert returned is pr.delta
+
+    def test_probe_survives_exceptions(self):
+        pr = profiler.probe()
+        try:
+            with pr:
+                SymExpr.var("probe_exc") + 1
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert pr.delta  # __exit__ still closed the scope
+
+
+class TestHitRate:
+    def test_empty_slice_is_none_not_zero(self):
+        assert profiler.hit_rate({}) is None
+        assert profiler.hit_rate({"counter.prove_calls": 5}) is None
+
+    def test_aggregates_across_caches(self):
+        snap = {
+            "cache.a.hits": 3.0,
+            "cache.a.misses": 1.0,
+            "cache.b.hits": 1.0,
+            "cache.b.misses": 3.0,
+            "cache.a.evictions": 99.0,  # not a lookup, ignored
+            "counter.prove_calls": 7.0,  # wrong prefix, ignored
+        }
+        assert profiler.hit_rate(snap) == 0.5
+
+    def test_prefix_narrows_the_slice(self):
+        snap = {
+            "cache.a.hits": 1.0,
+            "cache.a.misses": 0.0,
+            "cache.b.hits": 0.0,
+            "cache.b.misses": 1.0,
+        }
+        assert profiler.hit_rate(snap, prefix="cache.a.") == 1.0
+        assert profiler.hit_rate(snap, prefix="cache.b.") == 0.0
+
+    def test_accepts_live_snapshot(self):
+        SymExpr.var("hit_rate_traffic") + 1
+        rate = profiler.hit_rate(profiler.snapshot())
+        assert rate is not None and 0.0 <= rate <= 1.0
+
+
 class TestTimers:
     def test_disabled_records_nothing(self):
         profiler.reset_timers()
