@@ -22,7 +22,13 @@ from ..hsg.nodes import (
     IfConditionNode,
     LoopNode,
 )
+from ..perf.profiler import MISS, BoundedCache
 from ..symbolic import SymExpr
+
+#: (expr, indices) → AffineForm | None.  GCD and Banerjee both normalize
+#: the same subscripts of the same pairs; expressions are interned so the
+#: key is cheap.
+_AFFINE_CACHE = BoundedCache("deptest.affine_form", maxsize=16384)
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,16 @@ def affine_form(expr: SymExpr, indices: tuple[str, ...]) -> Optional[AffineForm]
     Returns ``None`` when an index occurs non-linearly (e.g. ``i*i`` or
     ``i*n``) — the numeric tests then give up on the pair.
     """
+    key = (expr, indices)
+    cached = _AFFINE_CACHE.get(key)
+    if cached is not MISS:
+        return cached
+    return _AFFINE_CACHE.put(key, _affine_form_uncached(expr, indices))
+
+
+def _affine_form_uncached(
+    expr: SymExpr, indices: tuple[str, ...]
+) -> Optional[AffineForm]:
     coeffs: dict[str, Fraction] = {}
     const = Fraction(0)
     rest = SymExpr()

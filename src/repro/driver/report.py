@@ -86,7 +86,9 @@ def format_perf(symbolic: dict) -> str:
     and per-cache hit/miss/eviction gauges.  Keys follow the flat
     ``repro.perf.profiler.snapshot`` naming scheme.
     """
-    sections: list[str] = []
+    from ..symbolic.matrix import backend_name
+
+    sections: list[str] = [f"constraint backend: {backend_name()}"]
     phases = sorted(
         {k[5:].rsplit(".", 1)[0] for k in symbolic if k.startswith("time.")}
     )
@@ -130,6 +132,6 @@ def format_perf(symbolic: dict) -> str:
                 title="symbolic caches",
             )
         )
-    if not sections:
-        return "no profiling data recorded"
+    if len(sections) == 1:
+        return sections[0] + "\nno profiling data recorded"
     return "\n\n".join(sections)

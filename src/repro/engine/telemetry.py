@@ -25,6 +25,12 @@ from ..driver.panorama import CompilationResult, LoopReport, StageTimings
 from .cache import CacheStats
 
 
+def _constraint_backend() -> str:
+    from ..symbolic.matrix import backend_name
+
+    return backend_name()
+
+
 # --------------------------------------------------------------------------- #
 # serializers (shared by `panorama --json` and the batch engine)
 # --------------------------------------------------------------------------- #
@@ -223,6 +229,7 @@ class EngineTelemetry:
             "stats": dict(self.stats),
             "cache": self.cache.as_dict(),
             "symbolic": dict(self.symbolic),
+            "constraint_backend": _constraint_backend(),
             "resilience": dict(self.resilience),
             "audit": dict(self.audit),
         }

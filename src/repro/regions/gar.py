@@ -22,7 +22,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
-from ..symbolic import Comparer, Predicate, SymExpr, predicate_unsat
+from ..symbolic import (
+    Comparer,
+    Predicate,
+    SymExpr,
+    predicate_unsat,
+    predicate_unsat_many,
+)
 from .ranges import Range
 from .region import OMEGA_DIM, RegularRegion
 
@@ -159,7 +165,9 @@ class GARList:
 
     def __init__(self, gars: Iterable[GAR] = ()) -> None:
         self.gars: Tuple[GAR, ...] = tuple(g for g in gars if not g.is_empty())
-        self._hash = hash(frozenset(self.gars))
+        # hashing builds a frozenset (order-insensitive, matching __eq__);
+        # most lists are never used as keys, so defer it
+        self._hash = None
 
     @classmethod
     def empty(cls) -> "GARList":
@@ -176,8 +184,15 @@ class GARList:
         return not self.gars
 
     def provably_empty(self, use_fm: bool = True) -> bool:
-        """Is the guard provably unsatisfiable?"""
-        return all(g.provably_empty(use_fm=use_fm) for g in self.gars)
+        """Is the guard provably unsatisfiable?
+
+        All member guards go to the constraint core as one batch.
+        """
+        if not self.gars:
+            return True
+        return all(
+            predicate_unsat_many([g.guard for g in self.gars], use_fm=use_fm)
+        )
 
     def is_exact(self) -> bool:
         """Are all members exact?"""
@@ -257,7 +272,10 @@ class GARList:
         return isinstance(other, GARList) and set(self.gars) == set(other.gars)
 
     def __hash__(self) -> int:
-        return self._hash
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(frozenset(self.gars))
+        return cached
 
     def __repr__(self) -> str:
         return f"GARList<{self}>"

@@ -18,15 +18,34 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..perf.profiler import MISS, BoundedCache
 from ..symbolic import Comparer, Predicate, predicate_implies
 from . import sanitize
 from .gar import GAR, GARList
 from .gar_simplify import simplify_gar_list
 from .region_ops import region_difference, region_intersect, region_union
 
+#: (op tag, T1, T2, context fingerprint, symbolic flag) → GARList.  The
+#: pairwise GAR operations are pure functions of the operands and the
+#: proof context; propagation and the resident daemon repeat them
+#: constantly, so one shared memo covers intersect/union/subtract.
+_PAIR_CACHE = BoundedCache("gar.pair_ops", maxsize=32768)
+
+
+def _pair_key(tag: str, t1: GAR, t2: GAR, cmp: Comparer) -> tuple:
+    return (tag, t1, t2, cmp._ctx_key, cmp.symbolic)
+
 
 def gar_intersect(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
     """``T1 ∩ T2 = [[P1 ∧ P2, R1 ∩ R2]]``."""
+    key = _pair_key("i", t1, t2, cmp)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not MISS:
+        return cached
+    return _PAIR_CACHE.put(key, _gar_intersect_uncached(t1, t2, cmp))
+
+
+def _gar_intersect_uncached(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
     guard = t1.guard & t2.guard
     if guard.is_false():
         return GARList.empty()
@@ -46,6 +65,14 @@ def gar_union(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
     * otherwise the general three-piece formula, or simply the two-element
       list when the region union does not merge.
     """
+    key = _pair_key("u", t1, t2, cmp)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not MISS:
+        return cached
+    return _PAIR_CACHE.put(key, _gar_union_uncached(t1, t2, cmp))
+
+
+def _gar_union_uncached(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
     exact = t1.exact and t2.exact
     if t1.region == t2.region:
         guard = t1.guard | t2.guard
@@ -82,6 +109,14 @@ def gar_subtract(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
     difference is unrepresentable, the result is ``T1`` marked inexact
     (a safe over-approximation of the true difference).
     """
+    key = _pair_key("s", t1, t2, cmp)
+    cached = _PAIR_CACHE.get(key)
+    if cached is not MISS:
+        return cached
+    return _PAIR_CACHE.put(key, _gar_subtract_uncached(t1, t2, cmp))
+
+
+def _gar_subtract_uncached(t1: GAR, t2: GAR, cmp: Comparer) -> GARList:
     if not t2.exact or t2.guard.is_unknown():
         return GARList.of(t1.inexact())
     if t1.region.array != t2.region.array or t1.region.rank != t2.region.rank:

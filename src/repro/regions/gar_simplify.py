@@ -18,9 +18,9 @@ except where noted inline.
 
 from __future__ import annotations
 
-from ..perf.profiler import COUNTERS, timed
+from ..perf.profiler import COUNTERS, MISS, BoundedCache, timed
 from ..resilience.budget import charge as _budget_charge
-from ..symbolic import Comparer, predicate_implies
+from ..symbolic import Comparer, predicate_implies, predicate_unsat_many
 from .gar import GAR, GARList
 from .region_ops import region_covers, region_union
 
@@ -28,6 +28,13 @@ from .region_ops import region_covers, region_union
 MAX_PAIRWISE = 40
 #: bounded fixpoint iterations
 MAX_PASSES = 4
+
+#: (gar tuple, context fingerprint, symbolic flag) → simplified GARList.
+#: Propagation re-simplifies the same lists under the same guard context
+#: on every pass (and again on every warm re-analysis in a resident
+#: process); the result is a pure function of the key, so the memo is
+#: invisible to summaries.
+_SIMPLIFY_CACHE = BoundedCache("gar.simplify", maxsize=16384)
 
 
 def _try_merge(g1: GAR, g2: GAR, cmp: Comparer) -> GAR | None:
@@ -58,9 +65,24 @@ def _covers(g1: GAR, g2: GAR, cmp: Comparer) -> bool:
 
 @timed("gar_simplify")
 def simplify_gar_list(gars: GARList, cmp: Comparer) -> GARList:
-    """Remove empty and redundant members; merge where possible."""
+    """Remove empty and redundant members; merge where possible.
+
+    Results are memoized on (member tuple, comparer fingerprint): the
+    simplifier is a pure function of the list order and the proof
+    context, and propagation repeats both constantly.
+    """
     COUNTERS.gar_simplify_calls += 1
+    # one simplifier entry = one budget step, cached or not (budgeted
+    # runs must terminate deterministically, see Comparer.prove)
     _budget_charge(1)
+    key = (gars.gars, cmp._ctx_key, cmp.symbolic)
+    cached = _SIMPLIFY_CACHE.get(key)
+    if cached is not MISS:
+        return cached
+    return _SIMPLIFY_CACHE.put(key, _simplify_gar_list_uncached(gars, cmp))
+
+
+def _simplify_gar_list_uncached(gars: GARList, cmp: Comparer) -> GARList:
     # emptiness is a pure property of the GAR (its guard), so compute it
     # at most once per distinct GAR for the whole call — the per-pass
     # re-filter below used to re-prove it for every survivor
@@ -73,7 +95,17 @@ def simplify_gar_list(gars: GARList, cmp: Comparer) -> GARList:
             cached = empties[g] = g.provably_empty(use_fm=cmp.use_fm)
         return cached
 
-    work = [g for g in gars if not is_empty(g)]
+    # pre-screen every member's guard in one batch submission to the
+    # constraint core instead of one FM entry per member
+    members = list(gars)
+    if members:
+        COUNTERS.gar_emptiness_checks += len(members)
+        verdicts = predicate_unsat_many(
+            [g.guard for g in members], use_fm=cmp.use_fm
+        )
+        for g, verdict in zip(members, verdicts):
+            empties[g] = verdict
+    work = [g for g in members if not empties[g]]
     if len(work) <= 1:
         return GARList(work)
     if len(work) > MAX_PAIRWISE:

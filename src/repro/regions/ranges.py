@@ -30,7 +30,7 @@ GuardedRangeList = List[GuardedRange]
 class Range:
     """An immutable symbolic range triple ``(lo : hi : step)``."""
 
-    __slots__ = ("lo", "hi", "step", "_hash")
+    __slots__ = ("lo", "hi", "step", "_hash", "_nonempty")
 
     def __init__(self, lo: ExprLike, hi: ExprLike, step: ExprLike = 1) -> None:
         self.lo = SymExpr.coerce(lo)
@@ -40,6 +40,7 @@ class Range:
         if sv is not None and sv <= 0:
             raise RegionError(f"range step must be positive, got {sv}")
         self._hash = hash((self.lo, self.hi, self.step))
+        self._nonempty = None
 
     @classmethod
     def point(cls, at: ExprLike) -> "Range":
@@ -64,8 +65,14 @@ class Range:
         return self.step_const() == 1
 
     def nonempty_pred(self) -> Predicate:
-        """The ``lo <= hi`` condition the paper keeps in the guard."""
-        return Predicate.le(self.lo, self.hi)
+        """The ``lo <= hi`` condition the paper keeps in the guard.
+
+        Computed once per range — every GAR construction conjoins it.
+        """
+        cached = self._nonempty
+        if cached is None:
+            cached = self._nonempty = Predicate.le(self.lo, self.hi)
+        return cached
 
     def free_vars(self) -> frozenset[str]:
         """Variables in the bounds and step."""

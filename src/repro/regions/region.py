@@ -42,7 +42,7 @@ Dim = Union[Range, _OmegaDim]
 class RegularRegion:
     """An immutable rectangular region of a named array."""
 
-    __slots__ = ("array", "dims", "_hash")
+    __slots__ = ("array", "dims", "_hash", "_nonempty")
 
     def __init__(self, array: str, dims: Sequence[Dim]) -> None:
         if not dims:
@@ -50,6 +50,7 @@ class RegularRegion:
         self.array = array
         self.dims: Tuple[Dim, ...] = tuple(dims)
         self._hash = hash((self.array, self.dims))
+        self._nonempty = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -82,11 +83,18 @@ class RegularRegion:
         return [(i, d) for i, d in enumerate(self.dims) if isinstance(d, Range)]
 
     def nonempty_pred(self) -> Predicate:
-        """Conjunction of per-dimension ``lo <= hi`` conditions."""
+        """Conjunction of per-dimension ``lo <= hi`` conditions.
+
+        Computed once per region — every GAR construction conjoins it.
+        """
+        cached = self._nonempty
+        if cached is not None:
+            return cached
         pred = Predicate.true()
         for d in self.dims:
             if isinstance(d, Range):
                 pred = pred & d.nonempty_pred()
+        self._nonempty = pred
         return pred
 
     def free_vars(self) -> frozenset[str]:

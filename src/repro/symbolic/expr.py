@@ -48,7 +48,7 @@ class SymExpr:
     coefficient.  The zero expression has an empty mapping.
     """
 
-    __slots__ = ("_terms", "_hash")
+    __slots__ = ("_terms", "_hash", "_ncp")
 
     def __new__(cls, terms: Mapping[Monomial, Number] | None = None) -> "SymExpr":
         clean: dict[Monomial, Fraction] = {}
@@ -73,6 +73,7 @@ class SymExpr:
         self = object.__new__(cls)
         self._terms = key
         self._hash = hash(key)
+        self._ncp = None
         _INTERN.put(key, self)
         return self
 
@@ -139,8 +140,13 @@ class SymExpr:
         return Fraction(0)
 
     def non_constant_part(self) -> "SymExpr":
-        """The expression minus its constant term."""
-        return SymExpr({m: c for m, c in self._terms if not m.is_unit()})
+        """The expression minus its constant term (computed once per
+        interned expression — ``Relation.implies`` asks constantly)."""
+        cached = self._ncp
+        if cached is None:
+            cached = SymExpr({m: c for m, c in self._terms if not m.is_unit()})
+            self._ncp = cached
+        return cached
 
     def free_vars(self) -> frozenset[str]:
         """All symbolic variable names occurring in the expression."""

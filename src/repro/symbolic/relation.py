@@ -34,6 +34,11 @@ from .expr import ExprLike, SymExpr
 
 #: canonical (expr, op, integer) triple → the interned instance
 _INTERN = BoundedCache("relation.intern", maxsize=16384)
+#: (self, other) → three-valued implication verdict.  The pairwise
+#: simplifier passes in the predicate and GAR layers re-ask the same
+#: atom pairs thousands of times per sweep; implication over interned
+#: relations is pure, so the memo is invisible to results.
+_IMPLIES_CACHE = BoundedCache("relation.implies", maxsize=32768)
 
 
 class RelOp(enum.Enum):
@@ -98,11 +103,20 @@ class Relation:
 
     def __new__(cls, expr: ExprLike, op: RelOp, integer: bool = True) -> "Relation":
         e = SymExpr.coerce(expr)
-        e, op = _normalize(e, op, integer)
-        key = (e, op, integer)
-        cached = _INTERN.get(key)
+        # two-level intern: the raw (pre-normalization) triple is keyed
+        # too, so repeated construction from the same source expression
+        # skips _normalize entirely (gcd/lcm reductions are not cheap)
+        raw = (e, op, integer)
+        cached = _INTERN.get(raw)
         if cached is not MISS:
             return cached
+        e, op = _normalize(e, op, integer)
+        key = (e, op, integer)
+        if key != raw:
+            cached = _INTERN.get(key)
+            if cached is not MISS:
+                _INTERN.put(raw, cached)
+                return cached
         self = object.__new__(cls)
         self.expr = e
         self.op = op
@@ -110,6 +124,8 @@ class Relation:
         self._hash = hash(key)
         self._negated = None
         _INTERN.put(key, self)
+        if key != raw:
+            _INTERN.put(raw, self)
         return self
 
     def __reduce__(self):
@@ -182,12 +198,20 @@ class Relation:
 
         Returns ``True`` when provably ``self => other``, ``False`` when
         provably ``self => not other``, ``None`` when this cheap check
-        cannot tell.
+        cannot tell.  Verdicts are memoized pairwise (relations are
+        interned, implication is pure).
         """
         if not isinstance(other, Relation):
             return None
         if self == other:
             return True
+        key = (self, other)
+        cached = _IMPLIES_CACHE.get(key)
+        if cached is not MISS:
+            return cached
+        return _IMPLIES_CACHE.put(key, self._implies_uncached(other))
+
+    def _implies_uncached(self, other: "Relation") -> Optional[bool]:
         t = other.truth()
         if t is not None:
             return t

@@ -1,0 +1,184 @@
+"""Property tests: the matrix constraint backends are verdict-identical
+to the object-layer Fourier–Motzkin oracle.
+
+Each case builds a randomized atom system (including NE case-splits,
+strict real atoms, nonlinear monomials, and overflow-sized coefficients)
+and checks that ``definitely_unsat`` / ``implied_by`` agree bit-for-bit
+between the numpy backend, the pure-Python fallback, and the object
+reference path.  Soundness is cross-checked against brute-force
+evaluation on small integer environments: a provably-unsat system must
+have no model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import profiler
+from repro.symbolic import Relation, RelOp, SymExpr, sym
+from repro.symbolic import fourier_motzkin as fm
+from repro.symbolic import matrix
+
+from .strategies import VAR_NAMES, envs, linear_exprs, relations, sym_exprs
+
+BACKENDS = (["numpy"] if matrix.HAVE_NUMPY else []) + ["python"]
+
+#: coefficients far beyond the int64-safe bound, forcing the promotion path
+huge_ints = st.integers(min_value=2**63, max_value=2**70)
+
+
+@st.composite
+def strict_relations(draw):
+    """Real-typed atoms, including strict ``<`` (never normalized away)."""
+    expr = draw(linear_exprs())
+    op = draw(st.sampled_from([RelOp.LE, RelOp.LT, RelOp.NE]))
+    return Relation(expr, op, integer=False)
+
+
+@st.composite
+def atom_systems(draw, max_atoms: int = 5):
+    """A random conjunction mixing integer, strict, and nonlinear atoms."""
+    kinds = st.one_of(relations(), strict_relations())
+    return [draw(kinds) for _ in range(draw(st.integers(1, max_atoms)))]
+
+
+@st.composite
+def huge_systems(draw, max_atoms: int = 4):
+    """Systems whose coefficients exceed the int64-safe bound."""
+    out = []
+    for _ in range(draw(st.integers(1, max_atoms))):
+        expr = SymExpr.const(draw(huge_ints) * draw(st.sampled_from([-1, 1])))
+        for name in VAR_NAMES:
+            if draw(st.booleans()):
+                expr = expr + sym(name) * draw(huge_ints)
+        out.append(Relation(expr, draw(st.sampled_from([RelOp.LE, RelOp.EQ]))))
+    return out
+
+
+def _unsat_on(backend: str, atoms) -> bool:
+    matrix.set_backend(backend)
+    try:
+        fm._UNSAT_CACHE._data.clear()
+        return fm.definitely_unsat(atoms)
+    finally:
+        matrix.set_backend(None)
+
+
+def _implied_on(backend: str, ctx, conclusion) -> bool:
+    matrix.set_backend(backend)
+    try:
+        fm._UNSAT_CACHE._data.clear()
+        fm._IMPLIED_CACHE._data.clear()
+        return fm.implied_by(ctx, conclusion)
+    finally:
+        matrix.set_backend(None)
+
+
+@given(atom_systems())
+@settings(max_examples=150, deadline=None)
+def test_unsat_matches_oracle(atoms):
+    reference = _unsat_on("object", atoms)
+    for backend in BACKENDS:
+        assert _unsat_on(backend, atoms) == reference, backend
+
+
+@given(atom_systems(), relations())
+@settings(max_examples=100, deadline=None)
+def test_implied_by_matches_oracle(atoms, conclusion):
+    reference = _implied_on("object", atoms, conclusion)
+    for backend in BACKENDS:
+        assert _implied_on(backend, atoms, conclusion) == reference, backend
+
+
+@given(huge_systems())
+@settings(max_examples=50, deadline=None)
+def test_overflow_systems_match_oracle(atoms):
+    """Coefficients beyond int64 must promote, never silently wrap."""
+    reference = _unsat_on("object", atoms)
+    for backend in BACKENDS:
+        assert _unsat_on(backend, atoms) == reference, backend
+
+
+def test_overflow_promotion_is_counted():
+    """A non-reducible huge system takes the exact path and says so.
+
+    Real-typed atoms: integer tightening would legally shrink these
+    coefficients during normalization, which is exactly what must NOT
+    rescue the matrix backend here.
+    """
+    x = sym("x")
+    big = 2**63
+    atoms = [
+        Relation(x * big + 1, RelOp.LE, integer=False),  # x <= -1/big
+        Relation(1 - x * big, RelOp.LE, integer=False),  # x >= +1/big
+    ]
+    before = profiler.COUNTERS.fm_matrix_overflow_promotions
+    for backend in BACKENDS:
+        assert _unsat_on(backend, atoms) is True
+    assert _unsat_on("object", atoms) is True
+    assert profiler.COUNTERS.fm_matrix_overflow_promotions > before
+
+
+@given(atom_systems(max_atoms=4), envs())
+@settings(max_examples=150, deadline=None)
+def test_unsat_is_sound(atoms, env):
+    """A provably-unsat system has no model (spot-checked per env)."""
+    for backend in BACKENDS:
+        if _unsat_on(backend, atoms):
+            assert not all(a.evaluate(env) for a in atoms)
+
+
+@given(st.lists(atom_systems(max_atoms=3), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_batch_entry_matches_single(systems):
+    """definitely_unsat_many == [definitely_unsat(s) for s in systems]."""
+    fm._UNSAT_CACHE._data.clear()
+    batched = fm.definitely_unsat_many(systems)
+    singles = [fm.definitely_unsat(s) for s in systems]
+    assert batched == singles
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ne_case_split_parity(backend):
+    """NE splits (and the drop beyond the cap) behave identically."""
+    x, y, z, w = sym("x"), sym("y"), sym("z"), sym("w")
+    atoms = [
+        Relation.eq(x, y),
+        Relation.ne(x, y),  # split: contradiction found in both branches
+    ]
+    assert _unsat_on(backend, atoms) is _unsat_on("object", atoms) is True
+    # more NE atoms than MAX_NE_SPLITS: extras dropped on every backend
+    many_ne = [
+        Relation.ne(x, 0),
+        Relation.ne(y, 0),
+        Relation.ne(z, 0),
+        Relation.ne(w, 0),
+        Relation.ne(x + y, 0),
+    ]
+    assert _unsat_on(backend, many_ne) is _unsat_on("object", many_ne)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_strict_real_atoms_parity(backend):
+    """Real strict bounds: x < y and y < x is unsat, x < y alone is not."""
+    x, y = sym("x"), sym("y")
+    lt_xy = Relation(x - y, RelOp.LT, integer=False)
+    lt_yx = Relation(y - x, RelOp.LT, integer=False)
+    assert _unsat_on(backend, [lt_xy, lt_yx]) is True
+    assert _unsat_on(backend, [lt_xy]) is False
+    # the real strict chain x < y < x+1 is satisfiable over the rationals
+    chain = [lt_xy, Relation(y - x - 1, RelOp.LT, integer=False)]
+    assert _unsat_on(backend, chain) is _unsat_on("object", chain) is False
+
+
+def test_oracle_crosscheck_mode(monkeypatch):
+    """PANORAMA_FM_ORACLE=1 runs both paths and counts the comparison."""
+    monkeypatch.setenv("PANORAMA_FM_ORACLE", "1")
+    x = sym("x")
+    atoms = [Relation.le(x, 0), Relation.le(SymExpr.const(1), x)]
+    fm._UNSAT_CACHE._data.clear()
+    before = profiler.COUNTERS.fm_oracle_crosschecks
+    assert fm.definitely_unsat(atoms) is True
+    assert profiler.COUNTERS.fm_oracle_crosschecks == before + 1

@@ -1,0 +1,106 @@
+"""Backend selection, batching, and observability of the matrix core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver.report import format_perf
+from repro.perf.profiler import COUNTERS
+from repro.symbolic import (
+    Predicate,
+    Relation,
+    SymExpr,
+    definitely_unsat_many,
+    predicate_unsat_many,
+    sym,
+)
+from repro.symbolic import fourier_motzkin as fm
+from repro.symbolic import matrix
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    matrix.set_backend(None)
+
+
+def test_backend_selection_env(monkeypatch):
+    monkeypatch.delenv("PANORAMA_CONSTRAINT_BACKEND", raising=False)
+    assert matrix.backend_name() == (
+        "numpy" if matrix.HAVE_NUMPY else "python"
+    )
+    monkeypatch.setenv("PANORAMA_CONSTRAINT_BACKEND", "python")
+    assert matrix.backend_name() == "python"
+    monkeypatch.setenv("PANORAMA_CONSTRAINT_BACKEND", "object")
+    assert matrix.backend_name() == "object"
+    assert not matrix.matrix_active()
+
+
+def test_forced_backend_overrides_env(monkeypatch):
+    monkeypatch.setenv("PANORAMA_CONSTRAINT_BACKEND", "object")
+    matrix.set_backend("python")
+    assert matrix.backend_name() == "python"
+    assert matrix.matrix_active()
+    matrix.set_backend(None)
+    assert matrix.backend_name() == "object"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        matrix.set_backend("cuda")
+
+
+def test_column_ids_are_stable():
+    x = sym("x") * sym("y")
+    (mono, _), = x.non_constant_part().terms
+    first = matrix.column_id(mono)
+    assert matrix.column_id(mono) == first
+
+
+def test_batch_matches_singles_and_counts():
+    x, y = sym("x"), sym("y")
+    systems = [
+        [Relation.le(x, 0), Relation.le(SymExpr.const(1), x)],
+        [Relation.le(x, y)],
+        [Relation.eq(x, 0), Relation.ne(x, 0)],
+    ]
+    fm._UNSAT_CACHE._data.clear()
+    before = COUNTERS.fm_batched_queries
+    batched = definitely_unsat_many(systems)
+    assert COUNTERS.fm_batched_queries == before + len(systems)
+    assert batched == [fm.definitely_unsat(s) for s in systems]
+
+
+def test_predicate_unsat_many_matches_scalar():
+    x = sym("x")
+    preds = [
+        Predicate.false(),
+        Predicate.le(x, 0) & Predicate.ge(x, 1),
+        Predicate.le(x, 0),
+        Predicate.true(),
+    ]
+    from repro.symbolic import predicate_unsat
+
+    assert predicate_unsat_many(preds) == [
+        predicate_unsat(p) for p in preds
+    ]
+    assert predicate_unsat_many(preds, use_fm=False) == [
+        predicate_unsat(p, use_fm=False) for p in preds
+    ]
+
+
+def test_format_perf_names_backend():
+    assert format_perf({}).startswith("constraint backend: ")
+    assert matrix.backend_name() in format_perf({})
+
+
+def test_oracle_divergence_raises(monkeypatch):
+    """A backend that disagrees with the oracle must crash, not differ."""
+    monkeypatch.setenv("PANORAMA_FM_ORACLE", "1")
+    x = sym("x")
+    atoms = frozenset(
+        [Relation.le(x, 0), Relation.le(SymExpr.const(1), x)]
+    )
+    monkeypatch.setattr(matrix, "unsat_conjunction", lambda *a: False)
+    with pytest.raises(AssertionError, match="divergence"):
+        fm._definitely_unsat(atoms)
