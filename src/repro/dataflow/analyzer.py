@@ -28,8 +28,9 @@ from .sum_loop import summarize_loop
 from .sum_segment import sum_segment
 
 #: stable identity of one loop summary across processes: the routine, the
-#: loop header (variable, source label, line), and the active enclosing
-#: indices — everything the record depends on besides the source text
+#: loop header (variable, source label, routine-relative line), and the
+#: active enclosing indices — everything the record depends on besides
+#: the source text
 LoopKey = tuple[str, str, Optional[int], int, frozenset[str]]
 
 #: seam for injecting externally cached routine summaries (engine cache)
@@ -225,8 +226,21 @@ class SummaryAnalyzer:
         self, unit_name: str, loop: LoopNode, active: frozenset[str]
     ) -> LoopKey:
         """Process-stable identity of one loop summary (unlike
-        ``node_id``, which depends on construction order)."""
-        return (unit_name, loop.var, loop.source_label, loop.lineno, active)
+        ``node_id``, which depends on construction order).
+
+        The line position is *routine-relative*: a routine embedded at
+        any file offset keys its loops identically, so records computed
+        for a standalone library item serve callers that concatenate
+        the same routine after a driver.
+        """
+        unit = self.hsg.analyzed.program.unit(unit_name)
+        return (
+            unit_name,
+            loop.var,
+            loop.source_label,
+            loop.lineno - unit.lineno,
+            active,
+        )
 
     def export_routine_summaries(self) -> dict[str, Summary]:
         """Snapshot of every routine summary computed (or provided) so far."""

@@ -41,15 +41,20 @@ def fmt(value: float, digits: int = 1) -> str:
     return f"{value:.{digits}f}"
 
 
-def format_stats(stats, timings=None) -> str:
+def format_stats(stats, timings=None, cache_backend=None) -> str:
     """One-line rendering of the analyzer's cost counters.
 
     *stats* is an :class:`~repro.dataflow.context.AnalysisStats`;
     *timings* (optional) a :class:`~repro.driver.panorama.StageTimings`
-    whose dataflow share contextualizes the counters.
+    whose dataflow share contextualizes the counters; *cache_backend*
+    (optional) names the active durable summary tier, leading the line
+    the same way ``--profile`` leads with the constraint backend.
     """
-    line = (
-        f"analysis cost: {stats.nodes_visited} HSG nodes visited, "
+    line = "analysis cost: "
+    if cache_backend:
+        line = f"cache backend: {cache_backend}\n" + line
+    line += (
+        f"{stats.nodes_visited} HSG nodes visited, "
         f"{stats.gar_ops} GAR ops, peak GAR list {stats.peak_gar_list}, "
         f"{stats.routines_summarized} routine / "
         f"{stats.loops_summarized} loop summaries"

@@ -4,12 +4,18 @@ The paper's Figure 4 argues the analysis "costs little beyond parsing";
 this package makes repeated and bulk analysis cheap in practice:
 
 * :mod:`repro.engine.cache` — content-addressed, two-tier (memory LRU +
-  on-disk pickle) cache of per-routine summaries, with callee-transitive
-  fingerprints for exact interprocedural invalidation;
+  durable backend) cache of per-routine summaries, with
+  callee-transitive fingerprints for exact interprocedural invalidation;
+* :mod:`repro.engine.backends` — the pluggable durable tier:
+  pickle-directory (``disk``) and multi-process SQLite (``shared``);
+* :mod:`repro.engine.scheduler` — call-graph-topology-aware dispatch
+  planning (providers before consumers, cycle-safe);
 * :mod:`repro.engine.batch` — :class:`BatchEngine`, fanning many sources
-  over a process pool that shares the disk cache tier;
+  over a process pool that shares the durable cache tier;
 * :mod:`repro.engine.incremental` — :class:`IncrementalEngine`,
   re-summarizing only routines an edit (transitively) touched;
+* :mod:`repro.engine.campaign` — seeded mass corpora, ``--shard i/N``
+  partitioning, and stats rollups (``panorama-campaign``);
 * :mod:`repro.engine.telemetry` — counters, roll-ups, and the JSON
   serializers shared with ``panorama --json``;
 * :mod:`repro.engine.cli` — the ``panorama-batch`` entry point.
@@ -19,6 +25,7 @@ backoff, pool rebuild on worker crash, quarantine): see
 ``docs/robustness.md`` for the full degradation ladder.
 """
 
+from .backends import CacheBackend, DiskBackend, SharedSQLiteBackend, make_backend
 from .batch import (
     BatchEngine,
     BatchItem,
@@ -38,12 +45,20 @@ from .cache import (
     options_key,
     unit_source_hash,
 )
+from .campaign import (
+    GENERATOR_VERSION,
+    generate_campaign,
+    merge_rollups,
+    parse_shard,
+    shard_items,
+)
 from .incremental import (
     IncrementalEngine,
     IncrementalReport,
     IncrementalResult,
     diff_revisions,
 )
+from .scheduler import SchedulePlan, plan_schedule, resolve_schedule_mode
 from .telemetry import (
     EngineTelemetry,
     analysis_stats_dict,
@@ -58,23 +73,35 @@ __all__ = [
     "BatchItemResult",
     "BatchReport",
     "CACHE_FORMAT_VERSION",
+    "CacheBackend",
     "CacheStats",
     "CachingHooks",
     "DISK_MAGIC",
+    "DiskBackend",
     "EngineTelemetry",
+    "GENERATOR_VERSION",
     "IncrementalEngine",
     "IncrementalReport",
     "IncrementalResult",
     "RoutineCacheEntry",
+    "SchedulePlan",
+    "SharedSQLiteBackend",
     "SummaryCache",
     "analysis_stats_dict",
     "diff_revisions",
     "fingerprint_program",
+    "generate_campaign",
     "items_from_kernel_registry",
     "items_from_paths",
     "loop_report_row",
+    "make_backend",
+    "merge_rollups",
     "options_key",
+    "parse_shard",
+    "plan_schedule",
+    "resolve_schedule_mode",
     "result_to_dict",
+    "shard_items",
     "timings_dict",
     "unit_source_hash",
 ]

@@ -42,6 +42,7 @@ from ..driver.panorama import Panorama
 from ..errors import FAULT_ERROR_KINDS, HARD_ERROR_KINDS, classify_exception
 from ..resilience import faults
 from .cache import CacheStats, CachingHooks, SummaryCache
+from .scheduler import SchedulePlan, plan_schedule, resolve_schedule_mode
 from .telemetry import EngineTelemetry, result_to_dict
 
 
@@ -220,6 +221,7 @@ def _analyze_item(
     cache: Optional[SummaryCache] = None,
     attempt: int = 1,
     audit: bool = False,
+    cache_backend: Optional[str] = None,
 ) -> BatchItemResult:
     """Analyze one item with a cache-wired pipeline.
 
@@ -239,7 +241,11 @@ def _analyze_item(
             time.sleep(faults.HANG_SECONDS)
         if faults.should_fire("item.error", key=item.name, occurrence=attempt):
             raise RuntimeError(f"injected fault: item.error {item.name}")
-        own_cache = cache if cache is not None else SummaryCache(cache_dir)
+        own_cache = (
+            cache
+            if cache is not None
+            else SummaryCache(cache_dir, backend=cache_backend)
+        )
         before = own_cache.stats.copy()
         hooks = CachingHooks(own_cache)
         panorama = Panorama(
@@ -284,7 +290,15 @@ def _analyze_item(
 
 
 def _worker_main(args: tuple) -> BatchItemResult:
-    item, options, cache_dir, run_machine_model, attempt, audit = args
+    (
+        item,
+        options,
+        cache_dir,
+        run_machine_model,
+        attempt,
+        audit,
+        cache_backend,
+    ) = args
     return _analyze_item(
         item,
         options,
@@ -292,6 +306,7 @@ def _worker_main(args: tuple) -> BatchItemResult:
         run_machine_model,
         attempt=attempt,
         audit=audit,
+        cache_backend=cache_backend,
     )
 
 
@@ -323,12 +338,22 @@ class BatchEngine:
         backoff_base: float = 0.05,
         retry_seed: int = 0,
         audit: bool = False,
+        cache_backend: str | None = None,
+        schedule: str = "auto",
     ) -> None:
         self.options = options or AnalysisOptions()
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.jobs = max(1, jobs)
         self.run_machine_model = run_machine_model
-        self.cache = SummaryCache(self.cache_dir, max_memory_entries)
+        #: durable-tier selection ("disk" | "shared" | None = env/default)
+        self.cache_backend = cache_backend
+        self.cache = SummaryCache(
+            self.cache_dir, max_memory_entries, backend=cache_backend
+        )
+        #: dispatch ordering: "auto" | "topo" | "arbitrary"
+        self.schedule = schedule
+        #: the plan of the most recent run (telemetry, tests)
+        self.last_plan: Optional[SchedulePlan] = None
         #: wall-clock seconds before an in-flight item is declared hung
         #: (pool mode only; None = wait forever)
         self.timeout_per_item = timeout_per_item
@@ -357,20 +382,26 @@ class BatchEngine:
         supervised = self.jobs > 1 and (
             len(items) > 1 or self.timeout_per_item is not None
         )
+        mode = resolve_schedule_mode(
+            self.schedule, len(items), self.jobs, self.cache_dir
+        )
+        plan = plan_schedule(items, self.options, mode)
+        self.last_plan = plan
         if not supervised:
-            results = [
-                _analyze_item(
-                    item,
+            results_by_idx: list[Optional[BatchItemResult]] = [None] * len(items)
+            for idx in plan.order:
+                results_by_idx[idx] = _analyze_item(
+                    items[idx],
                     self.options,
                     self.cache_dir,
                     self.run_machine_model,
                     cache=self.cache,
                     audit=self.audit,
+                    cache_backend=self.cache_backend,
                 )
-                for item in items
-            ]
+            results = [r for r in results_by_idx if r is not None]
         else:
-            results = self._run_pool(items)
+            results = self._run_pool(items, plan)
         complete = len(results) == len(items) and all(
             r is not None for r in results
         )
@@ -380,6 +411,15 @@ class BatchEngine:
         tele = report.telemetry
         tele.jobs = self.jobs
         tele.wall_seconds = time.perf_counter() - t0
+        tele.cache_backend = self.cache.backend_name
+        tele.sched.update(plan.as_dict())
+        # topo payoff: cache hits landed by items that waited on at
+        # least one scheduled provider (their warmth is the plan's work)
+        tele.sched["topo_hits"] = sum(
+            results[i].cache_stats.hits
+            for i, d in plan.deps.items()
+            if d and i < len(results)
+        )
         for res in results:
             if res.ok and res.payload is not None:
                 tele.note_result(res.payload)
@@ -406,6 +446,7 @@ class BatchEngine:
             self.run_machine_model,
             attempt,
             self.audit,
+            self.cache_backend,
         )
 
     @staticmethod
@@ -422,17 +463,35 @@ class BatchEngine:
                 pass
         pool.shutdown(wait=False, cancel_futures=True)
 
-    def _run_pool(self, items: Sequence[BatchItem]) -> list[BatchItemResult]:
+    def _run_pool(
+        self,
+        items: Sequence[BatchItem],
+        plan: Optional[SchedulePlan] = None,
+    ) -> list[BatchItemResult]:
         """Supervised fan-out: deadlines, retries, pool rebuilds.
 
-        State machine per item: *ready* → in-flight → (result | retry
-        with backoff | quarantine).  The loop ends only when every item
-        has a result, so the batch can never deadlock on a lost item.
+        State machine per item: *waiting* (topology-gated) → *ready* →
+        in-flight → (result | retry with backoff | quarantine).  The
+        loop ends only when every item has a result, so the batch can
+        never deadlock on a lost item; gated items are released when
+        their providers finalize (success *or* failure — a dead
+        provider must never strand its consumers).
         """
         workers = min(self.jobs, len(items))
         results: list[Optional[BatchItemResult]] = [None] * len(items)
         attempts = [0] * len(items)
-        ready: deque[int] = deque(range(len(items)))
+        deps: dict[int, set[int]] = (
+            {i: set(d) for i, d in plan.deps.items()}
+            if plan is not None
+            else {i: set() for i in range(len(items))}
+        )
+        dependents: dict[int, list[int]] = {i: [] for i in range(len(items))}
+        for i, d in deps.items():
+            for j in d:
+                dependents[j].append(i)
+        dispatch = plan.order if plan is not None else range(len(items))
+        waiting: set[int] = {i for i in dispatch if deps[i]}
+        ready: deque[int] = deque(i for i in dispatch if not deps[i])
         delayed: list[tuple[float, int]] = []  # (resume monotonic time, idx)
         pending: dict[Any, tuple[int, Optional[float]]] = {}
         rng = random.Random(self.retry_seed)
@@ -443,6 +502,16 @@ class BatchEngine:
         # worker round-trips successfully — a persistently crashing item
         # then only ever takes itself down, not in-flight innocents
         probe = False
+
+        def release(idx: int) -> None:
+            """A provider finalized: unblock consumers whose last gate
+            this was (dispatch order keeps the plan's ordering)."""
+            for dep in dependents[idx]:
+                gates = deps[dep]
+                gates.discard(idx)
+                if not gates and dep in waiting:
+                    waiting.discard(dep)
+                    ready.append(dep)
 
         def submit(idx: int) -> None:
             attempts[idx] += 1
@@ -472,14 +541,21 @@ class BatchEngine:
                 attempts=attempts[idx],
                 quarantined=quarantined,
             )
+            release(idx)
 
         def rebuild_pool() -> ProcessPoolExecutor:
             sup["pool_rebuilds"] += 1
             self._teardown_pool(pool)
             return ProcessPoolExecutor(max_workers=workers)
 
-        while ready or delayed or pending:
+        while ready or delayed or pending or waiting:
             now = time.monotonic()
+            if waiting and not (ready or delayed or pending):
+                # safety valve: gating must never deadlock the batch —
+                # if nothing can make progress, drop the remaining gates
+                # (the plan is a perf hint, not a correctness invariant)
+                ready.extend(sorted(waiting))
+                waiting.clear()
             if delayed:
                 still: list[tuple[float, int]] = []
                 for resume, idx in delayed:
@@ -549,6 +625,7 @@ class BatchEngine:
                     probe = False
                     if res.ok:
                         results[idx] = res
+                        release(idx)
                     else:
                         fail(idx, res.error_kind or "internal", res.error)
             if broken:

@@ -16,23 +16,22 @@ Cache keys are **fingerprints**: a SHA-256 over
 * a format version (bumping it orphans old pickles instead of unpickling
   incompatible layouts).
 
-Storage is two tiers: a bounded in-memory LRU dict in front of an
-on-disk directory of pickle files named by fingerprint.  The disk tier is
-safe to share between concurrent worker processes — entries are written
-via temp-file + atomic rename, and content addressing makes racing
-writers idempotent (both write identical bytes).
+Storage is two tiers: a bounded in-memory LRU dict in front of a
+pluggable durable :class:`~repro.engine.backends.CacheBackend` — the
+classic pickle-directory tier (``disk``) or a multi-process SQLite tier
+(``shared``) that whole fleets of engine instances read and write.  Both
+are safe to share between concurrent worker processes, and both speak
+the same fingerprint keyspace, so switching backends never invalidates
+summaries.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
-import pickle
-import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from ..dataflow.analyzer import LoopKey
 from ..dataflow.context import AnalysisOptions, LoopSummaryRecord
@@ -40,7 +39,7 @@ from ..dataflow.summary import Summary
 from ..fortran.ast_nodes import Program
 from ..fortran.callgraph import CallGraph
 from ..fortran.printers import unparse_unit
-from ..resilience import faults
+from .backends import CacheBackend, DiskBackend, make_backend
 
 #: bump when RoutineCacheEntry or the pickled analysis types change shape
 #: (v2: symbolic terms/exprs/relations are hash-consed and pickle through
@@ -135,6 +134,11 @@ class CacheStats:
     evictions: int = 0
     disk_errors: int = 0
     quarantined: int = 0
+    #: backend-tier counters: hits/misses served by a *shared* (multi-
+    #: process) backend, and writer-contention retries it absorbed
+    shared_hits: int = 0
+    shared_misses: int = 0
+    contention_retries: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
@@ -145,6 +149,9 @@ class CacheStats:
         self.evictions += other.evictions
         self.disk_errors += other.disk_errors
         self.quarantined += other.quarantined
+        self.shared_hits += other.shared_hits
+        self.shared_misses += other.shared_misses
+        self.contention_retries += other.contention_retries
 
     def copy(self) -> "CacheStats":
         return CacheStats(**self.as_dict())
@@ -167,6 +174,9 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_errors": self.disk_errors,
             "quarantined": self.quarantined,
+            "shared_hits": self.shared_hits,
+            "shared_misses": self.shared_misses,
+            "contention_retries": self.contention_retries,
         }
 
 
@@ -176,36 +186,49 @@ class CacheStats:
 
 
 class SummaryCache:
-    """In-memory LRU over an optional on-disk pickle directory.
+    """In-memory LRU over an optional durable :class:`CacheBackend`.
 
     With ``cache_dir=None`` the cache is memory-only (useful for tests
-    and single-process warm reruns).  Disk entries are sharded by the
-    first two fingerprint characters: ``<dir>/ab/abcdef….pkl``.
+    and single-process warm reruns).  With a directory, *backend*
+    selects the durable tier: ``"disk"`` (pickle files, the default),
+    ``"shared"`` (multi-process SQLite), an already-built
+    :class:`CacheBackend` instance, or None to defer to
+    ``$PANORAMA_CACHE_BACKEND``.
     """
 
     def __init__(
         self,
-        cache_dir: str | os.PathLike[str] | None = None,
+        cache_dir=None,
         max_memory_entries: int = 512,
+        backend: Union[str, CacheBackend, None] = None,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_memory_entries = max(1, max_memory_entries)
         self._memory: OrderedDict[str, RoutineCacheEntry] = OrderedDict()
         self.stats = CacheStats()
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if backend is None or isinstance(backend, str):
+            self.backend = make_backend(backend, cache_dir, self.stats)
+        else:
+            self.backend = backend
+            backend.bind_stats(self.stats)
+
+    @property
+    def backend_name(self) -> str:
+        """The active durable tier: ``"memory"``/``"disk"``/``"shared"``."""
+        return self.backend.name if self.backend is not None else "memory"
 
     # -- lookup -------------------------------------------------------------------
 
     def get(self, fingerprint: str) -> Optional[RoutineCacheEntry]:
-        """The cached entry, consulting memory then disk; None on miss."""
+        """The cached entry, consulting memory then the backend; None on
+        miss."""
         entry = self._memory.get(fingerprint)
         if entry is not None:
             self._memory.move_to_end(fingerprint)
             self.stats.hits += 1
             self.stats.memory_hits += 1
             return entry
-        entry = self._load_from_disk(fingerprint)
+        entry = self.backend.get(fingerprint) if self.backend else None
         if entry is not None:
             self._remember(fingerprint, entry)
             self.stats.hits += 1
@@ -217,8 +240,7 @@ class SummaryCache:
     def __contains__(self, fingerprint: str) -> bool:
         if fingerprint in self._memory:
             return True
-        path = self._path(fingerprint)
-        return path is not None and path.exists()
+        return self.backend is not None and self.backend.contains(fingerprint)
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -226,31 +248,39 @@ class SummaryCache:
     # -- store --------------------------------------------------------------------
 
     def put(self, entry: RoutineCacheEntry) -> None:
-        """Store an entry under its fingerprint (memory + disk)."""
+        """Store an entry under its fingerprint (memory + backend)."""
         existing = self._memory.get(entry.fingerprint)
         if existing is not None:
             entry = existing.merge(entry)
         self._remember(entry.fingerprint, entry)
         self.stats.stores += 1
-        self._write_to_disk(entry)
+        if self.backend is not None:
+            self.backend.put(entry)
 
     def adopt(self, fingerprints: Iterable[str]) -> int:
         """Prime the memory tier with entries another process wrote to the
-        shared disk tier (the batch engine's cache-delta merge).  Returns
-        the number of entries actually loaded."""
+        shared durable tier (the batch engine's cache-delta merge).
+        Returns the number of entries actually loaded."""
+        if self.backend is None:
+            return 0
         loaded = 0
         for fp in fingerprints:
             if fp in self._memory:
                 continue
-            entry = self._load_from_disk(fp)
+            entry = self.backend.get(fp)
             if entry is not None:
                 self._remember(fp, entry)
                 loaded += 1
         return loaded
 
     def clear_memory(self) -> None:
-        """Drop the memory tier (disk entries survive)."""
+        """Drop the memory tier (durable entries survive)."""
         self._memory.clear()
+
+    def close(self) -> None:
+        """Release backend handles (safe to keep using: they reopen)."""
+        if self.backend is not None:
+            self.backend.close()
 
     # -- internals ----------------------------------------------------------------
 
@@ -262,89 +292,11 @@ class SummaryCache:
             self.stats.evictions += 1
 
     def _path(self, fingerprint: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / fingerprint[:2] / f"{fingerprint}.pkl"
-
-    def _quarantine(self, path: Path, reason: str) -> None:
-        """Move a bad disk entry aside (``<dir>/quarantine/``) so it is
-        never re-read, re-trusted, or silently overwritten evidence."""
-        self.stats.disk_errors += 1
-        self.stats.quarantined += 1
-        if self.cache_dir is None:
-            return
-        try:
-            qdir = self.cache_dir / "quarantine"
-            qdir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, qdir / f"{path.name}.{reason}")
-        except OSError:
-            # even quarantining can fail (read-only dir): last resort is
-            # deleting the bad entry so it cannot poison later reads
-            try:
-                path.unlink()
-            except OSError:
-                pass
-
-    def _load_from_disk(self, fingerprint: str) -> Optional[RoutineCacheEntry]:
-        path = self._path(fingerprint)
-        if path is None or not path.exists():
-            return None
-        if faults.should_fire("cache.read"):
-            raise OSError(f"injected fault: cache.read {fingerprint[:12]}")
-        if faults.should_fire("cache.corrupt"):
-            # simulate a torn write: clobber the container header in place
-            # so the genuine corruption-detection path runs
-            with path.open("r+b") as fh:
-                fh.write(b"\x00" * len(DISK_MAGIC))
-        try:
-            data = path.read_bytes()
-        except OSError:
-            self.stats.disk_errors += 1
-            return None
-        if len(data) < len(DISK_MAGIC) + _DIGEST_LEN or not data.startswith(
-            DISK_MAGIC
-        ):
-            self._quarantine(path, "badmagic")
-            return None
-        digest = data[len(DISK_MAGIC) : len(DISK_MAGIC) + _DIGEST_LEN]
-        payload = data[len(DISK_MAGIC) + _DIGEST_LEN :]
-        if hashlib.sha256(payload).digest() != digest:
-            self._quarantine(path, "checksum")
-            return None
-        try:
-            version, entry = pickle.loads(payload)
-        except Exception:
-            self._quarantine(path, "unpickle")
-            return None
-        if version != CACHE_FORMAT_VERSION or not isinstance(
-            entry, RoutineCacheEntry
-        ):
-            self._quarantine(path, "version")
-            return None
-        return entry
-
-    def _write_to_disk(self, entry: RoutineCacheEntry) -> None:
-        path = self._path(entry.fingerprint)
-        if path is None:
-            return
-        try:
-            payload = pickle.dumps((CACHE_FORMAT_VERSION, entry))
-            digest = hashlib.sha256(payload).digest()
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=entry.fingerprint[:8], suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(DISK_MAGIC)
-                    fh.write(digest)
-                    fh.write(payload)
-                os.replace(tmp, path)  # atomic on POSIX: racing writers agree
-            except BaseException:
-                os.unlink(tmp)
-                raise
-        except OSError:
-            self.stats.disk_errors += 1
+        """Disk-tier file of one fingerprint (None off the disk backend);
+        kept because tests and ops tooling reach for the raw file."""
+        if isinstance(self.backend, DiskBackend):
+            return self.backend.path(fingerprint)
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -375,6 +327,9 @@ class CachingHooks:
         self.computed: set[str] = set()
         #: fingerprints written to the cache by this compile (the delta)
         self.stored_fingerprints: list[str] = []
+        #: True when step budgets force the hooks inert (see attach)
+        self._bypass = False
+        self._entries: dict[str, RoutineCacheEntry] = {}
 
     # PipelineHooks interface ------------------------------------------------------
 
@@ -389,6 +344,17 @@ class CachingHooks:
             name: unit_source_hash(hsg.analyzed.program, name)
             for name in self.fingerprints
         }
+        # Step budgets charge per analysis step, so a served summary
+        # changes *where* exhaustion lands — warm and cold runs could
+        # degrade different loops and verdicts would drift.  Under
+        # budget_steps the hooks go inert: fingerprints still flow (for
+        # incremental diffing) but nothing is served or stored, making
+        # warm == cold by construction.
+        self._bypass = analyzer.options.budget_steps is not None
+        if self._bypass:
+            self._entries = {}
+            self.reused = set()
+            return
         entries: dict[str, RoutineCacheEntry] = {}
         for routine, fp in self.fingerprints.items():
             entry = self.cache.get(fp)
@@ -410,6 +376,16 @@ class CachingHooks:
 
     def finish(self, result) -> None:
         analyzer = result.analyzer
+        if self._bypass:
+            return
+        if analyzer.stats.budget_degradations:
+            # a wall-clock budget fired mid-analysis: these summaries are
+            # conservative placeholders, not facts — storing them would
+            # poison every future warm run with degraded verdicts
+            return
+        self._force_provider_summaries(analyzer)
+        if analyzer.stats.budget_degradations:
+            return  # the forced computation itself ran out of budget
         summaries = analyzer.export_routine_summaries()
         by_routine: dict[str, dict] = {}
         for key, record in analyzer.export_loop_records().items():
@@ -437,3 +413,26 @@ class CachingHooks:
                 )
             )
             self.stored_fingerprints.append(fp)
+
+    def _force_provider_summaries(self, analyzer) -> None:
+        """Materialize summaries of caller-less routines.
+
+        Summaries are normally computed on demand — when some in-item
+        caller needs SUM_call — so a routine nobody calls (a *library*
+        item analyzed standalone, the unit of sharing in campaign
+        corpora) would leave the compile with nothing cacheable.
+        Computing it here turns every such item into a provider: the
+        summary is context-independent, so any later item embedding the
+        identical routine (identical fingerprint) starts warm.  Verdicts
+        are unaffected — they were extracted before finish runs.
+        """
+        called: set[str] = set()
+        for callees in self.callees.values():
+            called |= callees
+        for unit in analyzer.hsg.analyzed.program.units:
+            if unit.kind == "program" or unit.name in called:
+                continue
+            try:
+                analyzer.routine_summary(unit.name)
+            except Exception:
+                pass  # an uncomputable summary is simply not cached

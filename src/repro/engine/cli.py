@@ -14,9 +14,11 @@ import json
 import os
 import sys
 
+from types import SimpleNamespace
+
 from .. import __version__
 from ..dataflow import AnalysisOptions
-from ..driver.report import format_table, yes_no
+from ..driver.report import format_stats, format_table, yes_no
 from ..resilience import faults
 from ..resilience.faults import ENV_VAR
 from .batch import BatchEngine, items_from_kernel_registry, items_from_paths
@@ -51,6 +53,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="PATH",
         help="persistent summary cache directory (shared by workers)",
+    )
+    parser.add_argument(
+        "--cache-backend",
+        choices=["disk", "shared"],
+        help="durable cache tier: pickle files (disk) or the "
+        "multi-process SQLite tier (shared); default "
+        "$PANORAMA_CACHE_BACKEND or disk",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=["auto", "topo", "arbitrary"],
+        default="auto",
+        help="dispatch order: topo analyzes callee-providing items "
+        "first so callers hit warm summaries (default auto)",
     )
     parser.add_argument(
         "--stats-json",
@@ -180,6 +196,8 @@ def main(argv: list[str] | None = None) -> int:
         timeout_per_item=args.timeout_per_item,
         max_attempts=max(1, args.retries + 1),
         audit=run_audit,
+        cache_backend=args.cache_backend,
+        schedule=args.schedule,
     )
     report = engine.run(items)
 
@@ -237,6 +255,13 @@ def main(argv: list[str] | None = None) -> int:
             )
             print()
         print(report.telemetry.summary_line())
+        tele = report.telemetry
+        print(
+            format_stats(
+                SimpleNamespace(**tele.stats, symbolic=tele.symbolic),
+                cache_backend=tele.cache_backend,
+            )
+        )
         if run_audit:
             a = report.telemetry.audit
             print(

@@ -188,6 +188,25 @@ class EngineTelemetry:
     #: wall-clock seconds of the whole batch (not the sum of workers)
     wall_seconds: float = 0.0
     jobs: int = 1
+    #: durable cache tier this run wrote through ("memory"/"disk"/"shared")
+    cache_backend: str = "memory"
+    #: topology-scheduler counters (SchedulePlan.as_dict + topo_hits:
+    #: cache hits landed by items that waited on a scheduled provider)
+    sched: dict[str, Any] = field(
+        default_factory=lambda: {
+            "mode": "arbitrary",
+            "edges": 0,
+            "gated_items": 0,
+            "cyclic_items": 0,
+            "opaque_items": 0,
+            "topo_hits": 0,
+        }
+    )
+    #: campaign provenance (seed, generator version, shard) — empty for
+    #: plain batch runs; filled by repro.engine.campaign
+    campaign: dict[str, Any] = field(default_factory=dict)
+    #: verdict histogram: per-loop status values → counts
+    verdicts: dict[str, int] = field(default_factory=dict)
 
     def note_result(self, payload: dict[str, Any]) -> None:
         """Fold one serialized compilation result into the roll-up."""
@@ -195,6 +214,9 @@ class EngineTelemetry:
         rows = payload.get("loops", [])
         self.loops += len(rows)
         self.parallel_loops += sum(1 for r in rows if r.get("parallel"))
+        for r in rows:
+            status = r.get("status", "unknown")
+            self.verdicts[status] = self.verdicts.get(status, 0) + 1
         self.resilience["degraded_loops"] += sum(
             1 for r in rows if r.get("degraded")
         )
@@ -228,10 +250,14 @@ class EngineTelemetry:
             "timings": dict(self.timings),
             "stats": dict(self.stats),
             "cache": self.cache.as_dict(),
+            "cache_backend": self.cache_backend,
             "symbolic": dict(self.symbolic),
             "constraint_backend": _constraint_backend(),
             "resilience": dict(self.resilience),
             "audit": dict(self.audit),
+            "sched": dict(self.sched),
+            "campaign": dict(self.campaign),
+            "verdicts": dict(self.verdicts),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -249,6 +275,7 @@ class EngineTelemetry:
         return (
             f"{self.files} file(s), {self.loops} loops "
             f"({self.parallel_loops} parallel) in {self.wall_seconds:.2f}s "
-            f"wall [{self.jobs} job(s)]; cache: {c.hits} hit(s), "
-            f"{c.misses} miss(es), {c.evictions} eviction(s)"
+            f"wall [{self.jobs} job(s)]; cache[{self.cache_backend}]: "
+            f"{c.hits} hit(s), {c.misses} miss(es), "
+            f"{c.evictions} eviction(s)"
         )

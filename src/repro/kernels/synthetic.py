@@ -111,6 +111,170 @@ INVARIANT_GUARD = """
 """
 
 
+#: analysis patterns make_routine can instantiate (each mirrors one of
+#: the named sources above, parametrized so a pool of distinct-but-
+#: repeating routines can be drawn for campaign corpora)
+ROUTINE_PATTERNS = ("private", "reduction", "recurrence", "stride")
+
+
+def make_routine(name: str, pattern: str, span: int = 1000) -> str:
+    """One synthetic subroutine exercising a single analysis pattern.
+
+    All patterns share the formal signature ``(A, B, N, M)`` so any
+    driver can call any mix of them.  The generated text is a pure
+    function of ``(name, pattern, span)`` — two items embedding the
+    same routine therefore embed byte-identical sources, which is what
+    gives them identical summary fingerprints and makes cross-item
+    cache reuse possible.
+    """
+    header = [
+        f"      SUBROUTINE {name}(A, B, N, M)",
+        f"      REAL A({span}), B({span})",
+        "      INTEGER N, M, I, J",
+    ]
+    if pattern == "private":
+        body = [
+            f"      REAL T({span}), S",
+            "      DO I = 1, N",
+            "        DO J = 1, M",
+            "          T(J) = B(J) + I",
+            "        ENDDO",
+            "        S = 0.0",
+            "        DO J = 1, M",
+            "          S = S + T(J)",
+            "        ENDDO",
+            "        A(I) = S",
+            "      ENDDO",
+        ]
+    elif pattern == "reduction":
+        body = [
+            "      REAL S",
+            "      S = 0.0",
+            "      DO I = 1, N",
+            "        S = S + A(I)",
+            "      ENDDO",
+            "      B(1) = S",
+        ]
+    elif pattern == "recurrence":
+        body = [
+            "      DO I = 2, N",
+            "        A(I) = A(I-1) + B(I)",
+            "      ENDDO",
+        ]
+    elif pattern == "stride":
+        body = [
+            "      DO I = 1, N",
+            "        A(2*I) = B(I)",
+            "        A(2*I+1) = B(I) + 1.0",
+            "      ENDDO",
+        ]
+    else:
+        raise ValueError(
+            f"unknown routine pattern {pattern!r} "
+            f"(expected one of {ROUTINE_PATTERNS})"
+        )
+    return "\n".join(header + body + ["      END"]) + "\n"
+
+
+def make_heavy_routine(name: str, blocks: int = 8, span: int = 1000) -> str:
+    """A deliberately expensive-to-analyze subroutine: *blocks* sequential
+    privatizable loop nests over distinct temporaries.
+
+    Shares :func:`make_routine`'s ``(A, B, N, M)`` signature so drivers
+    can mix heavy and light callees.  Analysis cost grows with *blocks*
+    (each adds a nest of three loops and a fresh private array), which
+    makes these routines the worst case for schedulers that let callers
+    run before their providers: every caller that misses the summary
+    cache pays the whole bill again.
+    """
+    if blocks < 1:
+        raise ValueError("blocks must be >= 1")
+    header = [
+        f"      SUBROUTINE {name}(A, B, N, M)",
+        f"      REAL A({span}), B({span})",
+        "      INTEGER N, M, I, J, K",
+        "      REAL "
+        + ", ".join(f"T{b}({span})" for b in range(blocks))
+        + ", S",
+    ]
+    body: list[str] = []
+    for b in range(blocks):
+        body += [
+            "      DO I = 1, N",
+            "        DO J = 1, M",
+            f"          T{b}(J) = B(J) + A(I) * {b + 1}.0",
+            "        ENDDO",
+            "        S = 0.0",
+            "        DO K = 1, M",
+            f"          S = S + T{b}(K)",
+            "        ENDDO",
+            f"        A(I) = S + {b}.0",
+            "      ENDDO",
+        ]
+    return "\n".join(header + body + ["      END"]) + "\n"
+
+
+def make_call_chain(prefix: str, depth: int, span: int = 500) -> str:
+    """A *depth*-deep call chain: ``PREFIX0`` calls ``PREFIX1`` inside
+    its loop, which calls ``PREFIX2``, and so on.
+
+    Each routine's own loops are trivial, but summarizing the chain head
+    walks every link (interprocedural region translation at each call
+    site) — the inverse cost profile of :func:`make_heavy_routine`.
+    Analysis served a cached summary of ``PREFIX0`` skips the whole
+    walk, which makes chains the workload where warm summary tiers show
+    the largest per-item savings.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    units: list[str] = []
+    for k in range(depth):
+        lines = [
+            f"      SUBROUTINE {prefix}{k}(A, B, N, M)",
+            f"      REAL A({span}), B({span})",
+            "      INTEGER N, M, I, J",
+            f"      REAL T({span})",
+            "      DO I = 1, N",
+            "        DO J = 1, M",
+            "          T(J) = B(J) + A(I)",
+            "        ENDDO",
+        ]
+        if k < depth - 1:
+            lines.append(f"        CALL {prefix}{k + 1}(T, B, N, M)")
+        lines += [
+            "        A(I) = T(1)",
+            "      ENDDO",
+            "      END",
+        ]
+        units.append("\n".join(lines) + "\n")
+    return "".join(units)
+
+
+def make_driver(
+    name: str, callees: list[str], span: int = 1000, trips: int = 50
+) -> str:
+    """A PROGRAM unit that initializes work arrays and calls *callees*.
+
+    Pair with :func:`make_routine` (every callee must use its shared
+    ``(A, B, N, M)`` signature); concatenating the driver with the
+    callee sources yields a complete analyzable item.
+    """
+    lines = [
+        f"      PROGRAM {name}",
+        f"      REAL A({span}), B({span})",
+        "      INTEGER N, M, I",
+        f"      N = {trips}",
+        f"      M = {max(1, trips // 2)}",
+        f"      DO I = 1, {span}",
+        "        A(I) = 1.0",
+        "        B(I) = 2.0",
+        "      ENDDO",
+    ]
+    lines += [f"      CALL {c}(A, B, N, M)" for c in callees]
+    lines.append("      END")
+    return "\n".join(lines) + "\n"
+
+
 def make_loop_nest(depth: int, width: int, routines: int = 1) -> str:
     """A program with *routines* subroutines, each holding a *depth*-deep
     loop nest over work arrays, called from a driver.

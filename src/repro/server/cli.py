@@ -84,6 +84,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "panorama-batch disk tier format)",
     )
     parser.add_argument(
+        "--cache-backend",
+        choices=["disk", "shared"],
+        help="durable cache tier: pickle files (disk) or the "
+        "multi-process SQLite tier (shared); default "
+        "$PANORAMA_CACHE_BACKEND or disk",
+    )
+    parser.add_argument(
         "--audit",
         action="store_true",
         help="run the static soundness auditor on every analyze by default",
@@ -114,6 +121,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         budget_ms=args.budget_ms,
         budget_steps=args.budget_steps,
         cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
         audit=args.audit,
     )
 

@@ -73,9 +73,13 @@ class ServerConfig:
     #: these (None = no ceiling)
     budget_ms: Optional[float] = None
     budget_steps: Optional[int] = None
-    #: optional disk tier for the summary cache (shared with the batch
-    #: engine's --cache-dir format)
+    #: optional durable tier for the summary cache (shared with the
+    #: batch engine's --cache-dir format)
     cache_dir: Optional[str] = None
+    #: durable-tier implementation: "disk" | "shared" | None
+    #: (= $PANORAMA_CACHE_BACKEND or disk); "shared" lets a daemon and
+    #: concurrent batch shards serve one SQLite summary tier
+    cache_backend: Optional[str] = None
     #: run the static soundness auditor on every analyze by default
     #: (requests can override per call)
     audit: bool = False
@@ -150,7 +154,9 @@ class AnalysisService:
 
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
-        self.cache = SummaryCache(self.config.cache_dir)
+        self.cache = SummaryCache(
+            self.config.cache_dir, backend=self.config.cache_backend
+        )
         self.telemetry = EngineTelemetry()
         self.started_monotonic = time.monotonic()
         self.started_at = time.time()
@@ -492,6 +498,7 @@ class AnalysisService:
             "perf": snap,
             "hit_rate": profiler.hit_rate(snap),
             "constraint_backend": _matrix_backend(),
+            "cache_backend": self.cache.backend_name,
             "summary_cache": self.cache.stats.as_dict(),
             # batch-style roll-up: timings/stats/resilience/audit counters
             "telemetry": telemetry,
