@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 from ..resilience import faults
+from ..resilience.breaker import CircuitBreaker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports us)
     from .cache import CacheStats, RoutineCacheEntry
@@ -49,6 +50,39 @@ ENV_BACKEND_VAR = "PANORAMA_CACHE_BACKEND"
 
 #: kinds make_backend accepts
 BACKEND_KINDS = ("disk", "shared")
+
+#: default bound on quarantined entries kept per backend (oldest-first
+#: eviction beyond this — a corruption storm must not fill the disk)
+QUARANTINE_CAP = 256
+
+
+class _BreakerMixin:
+    """Shared circuit-breaker plumbing for the durable tiers.
+
+    Backends never raise into the analysis — they degrade per operation.
+    The breaker adds fleet-level memory on top: consecutive failures trip
+    it open, after which operations are short-circuited locally (a miss /
+    a dropped store) until a seeded half-open probe succeeds.  Every
+    transition is mirrored into :class:`CacheStats` *at event time* so
+    per-worker stat deltas merge correctly across processes.
+    """
+
+    breaker: Optional[CircuitBreaker]
+    stats: "CacheStats"
+
+    def _breaker_allow(self) -> bool:
+        if self.breaker is None or self.breaker.allow():
+            return True
+        self.stats.breaker_skipped += 1
+        return False
+
+    def _breaker_ok(self) -> None:
+        if self.breaker is not None and self.breaker.record_success():
+            self.stats.breaker_recoveries += 1
+
+    def _breaker_fail(self) -> None:
+        if self.breaker is not None and self.breaker.record_failure():
+            self.stats.breaker_trips += 1
 
 
 @runtime_checkable
@@ -113,23 +147,33 @@ def _encode_entry(entry: "RoutineCacheEntry") -> tuple[bytes, bytes]:
     return payload, hashlib.sha256(payload).digest()
 
 
-class DiskBackend:
+class DiskBackend(_BreakerMixin):
     """Pickle-per-fingerprint directory tier (the original disk tier).
 
     Entries are sharded by the first two fingerprint characters
     (``<dir>/ab/ab…pkl``) and written via temp-file + atomic rename, so
     workers sharing the directory are safe and racing writers agree
     (content addressing makes their bytes identical).  Bad entries are
-    moved to ``<dir>/quarantine/`` with a reason suffix.
+    moved to ``<dir>/quarantine/`` with a reason suffix; the quarantine
+    directory is capped at *quarantine_cap* entries, evicting oldest
+    first.
     """
 
     name = "disk"
 
-    def __init__(self, cache_dir, stats: "CacheStats | None" = None) -> None:
+    def __init__(
+        self,
+        cache_dir,
+        stats: "CacheStats | None" = None,
+        quarantine_cap: int = QUARANTINE_CAP,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         from .cache import CacheStats
 
         self.cache_dir = Path(cache_dir)
         self.stats = stats if stats is not None else CacheStats()
+        self.quarantine_cap = max(1, quarantine_cap)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
 
     def bind_stats(self, stats: "CacheStats") -> None:
@@ -153,6 +197,7 @@ class DiskBackend:
             qdir = self.cache_dir / "quarantine"
             qdir.mkdir(parents=True, exist_ok=True)
             os.replace(path, qdir / f"{path.name}.{reason}")
+            self._evict_quarantine(qdir)
         except OSError:
             # even quarantining can fail (read-only dir): last resort is
             # deleting the bad entry so it cannot poison later reads
@@ -161,11 +206,27 @@ class DiskBackend:
             except OSError:
                 pass
 
+    def _evict_quarantine(self, qdir: Path) -> None:
+        """Hold the quarantine directory at the cap, oldest-first."""
+        entries = sorted(
+            (p for p in qdir.iterdir() if p.is_file()),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+        while len(entries) > self.quarantine_cap:
+            victim = entries.pop(0)
+            try:
+                victim.unlink()
+                self.stats.quarantine_evicted += 1
+            except OSError:
+                pass
+
     def get(self, fingerprint: str) -> Optional["RoutineCacheEntry"]:
         from .cache import DISK_MAGIC, _DIGEST_LEN
 
         path = self.path(fingerprint)
         if not path.exists():
+            return None
+        if not self._breaker_allow():
             return None
         if faults.should_fire("cache.read"):
             raise OSError(f"injected fault: cache.read {fingerprint[:12]}")
@@ -178,23 +239,29 @@ class DiskBackend:
             data = path.read_bytes()
         except OSError:
             self.stats.disk_errors += 1
+            self._breaker_fail()
             return None
         if len(data) < len(DISK_MAGIC) + _DIGEST_LEN or not data.startswith(
             DISK_MAGIC
         ):
             self._quarantine(path, "badmagic")
+            self._breaker_fail()
             return None
         digest = data[len(DISK_MAGIC) : len(DISK_MAGIC) + _DIGEST_LEN]
         payload = data[len(DISK_MAGIC) + _DIGEST_LEN :]
         entry, reason = _verify_payload(payload, digest)
         if entry is None:
             self._quarantine(path, reason or "corrupt")
+            self._breaker_fail()
             return None
+        self._breaker_ok()
         return entry
 
     def put(self, entry: "RoutineCacheEntry") -> None:
         from .cache import DISK_MAGIC
 
+        if not self._breaker_allow():
+            return  # open breaker: drop the store, cache stays an accelerator
         path = self.path(entry.fingerprint)
         try:
             payload, digest = _encode_entry(entry)
@@ -211,11 +278,13 @@ class DiskBackend:
             except BaseException:
                 os.unlink(tmp)
                 raise
+            self._breaker_ok()
         except OSError:
             self.stats.disk_errors += 1
+            self._breaker_fail()
 
 
-class SharedSQLiteBackend:
+class SharedSQLiteBackend(_BreakerMixin):
     """One WAL-mode SQLite database shared by N engine processes.
 
     WAL gives single-writer/many-reader concurrency without readers
@@ -249,6 +318,8 @@ class SharedSQLiteBackend:
         busy_timeout_s: float = 5.0,
         max_retries: int = 5,
         retry_sleep_s: float = 0.01,
+        quarantine_cap: int = QUARANTINE_CAP,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         from .cache import CacheStats
 
@@ -258,6 +329,8 @@ class SharedSQLiteBackend:
         self.busy_timeout_s = busy_timeout_s
         self.max_retries = max(1, max_retries)
         self.retry_sleep_s = retry_sleep_s
+        self.quarantine_cap = max(1, quarantine_cap)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._conn: Optional[sqlite3.Connection] = None
         self._pid: Optional[int] = None
@@ -310,20 +383,36 @@ class SharedSQLiteBackend:
 
     # -- retry plumbing -----------------------------------------------------------
 
-    def _with_retry(self, op, default=None):
+    def _with_retry(self, op, default=None, breaker: bool = True):
         """Run *op* (no-arg callable), retrying writer contention.
 
         Returns *default* when the database stays locked through every
         retry or fails structurally — a cache tier degrades, it never
-        raises into the analysis.
+        raises into the analysis.  Outcomes feed the circuit breaker
+        (unless *breaker* is False — quarantine bookkeeping must not
+        reset the failure streak its own corrupt row caused): busy
+        exhaustion and structural errors are failures, and enough of
+        them in a row trips the backend into local-only mode where
+        *op* is skipped outright.
         """
+        if breaker and not self._breaker_allow():
+            return default
         for attempt in range(self.max_retries):
             try:
-                return op()
+                if faults.should_fire("backend.busy"):
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected fault: backend.busy)"
+                    )
+                result = op()
+                if breaker:
+                    self._breaker_ok()
+                return result
             except sqlite3.OperationalError as exc:
                 message = str(exc).lower()
                 if "locked" not in message and "busy" not in message:
                     self.stats.disk_errors += 1
+                    if breaker:
+                        self._breaker_fail()
                     return default
                 self.stats.contention_retries += 1
                 if attempt + 1 < self.max_retries:
@@ -333,8 +422,12 @@ class SharedSQLiteBackend:
                 # drop the handle so the next call reopens from scratch
                 self.stats.disk_errors += 1
                 self.close()
+                if breaker:
+                    self._breaker_fail()
                 return default
         self.stats.disk_errors += 1
+        if breaker:
+            self._breaker_fail()
         return default
 
     # -- protocol -----------------------------------------------------------------
@@ -351,6 +444,13 @@ class SharedSQLiteBackend:
     def get(self, fingerprint: str) -> Optional["RoutineCacheEntry"]:
         if faults.should_fire("cache.read"):
             raise OSError(f"injected fault: cache.read {fingerprint[:12]}")
+        if faults.should_fire("backend.read", key=fingerprint[:12]):
+            # a shared-tier read I/O error degrades to a miss (and feeds
+            # the breaker) instead of raising into the analysis
+            self.stats.disk_errors += 1
+            self.stats.shared_misses += 1
+            self._breaker_fail()
+            return None
         if faults.should_fire("cache.corrupt"):
             # clobber the stored digest in place so the genuine
             # verification/quarantine path runs
@@ -375,12 +475,18 @@ class SharedSQLiteBackend:
         entry, reason = _verify_payload(bytes(row[1]), bytes(row[0]))
         if entry is None:
             self._quarantine(fingerprint, reason or "corrupt", bytes(row[1]))
+            self._breaker_fail()  # corrupt rows count toward tripping
             self.stats.shared_misses += 1
             return None
         self.stats.shared_hits += 1
         return entry
 
     def put(self, entry: "RoutineCacheEntry") -> None:
+        if faults.should_fire("backend.write", key=entry.fingerprint[:12]):
+            # a shared-tier write I/O error drops the store (always safe)
+            self.stats.disk_errors += 1
+            self._breaker_fail()
+            return
         payload, digest = _encode_entry(entry)
 
         def upsert():
@@ -416,13 +522,30 @@ class SharedSQLiteBackend:
                 conn.execute(
                     "DELETE FROM summaries WHERE fingerprint = ?", (fingerprint,)
                 )
+                excess = (
+                    conn.execute(
+                        "SELECT COUNT(*) FROM quarantine"
+                    ).fetchone()[0]
+                    - self.quarantine_cap
+                )
+                if excess > 0:  # hold the table at the cap, oldest first
+                    conn.execute(
+                        "DELETE FROM quarantine WHERE rowid IN ("
+                        " SELECT rowid FROM quarantine"
+                        " ORDER BY quarantined_at, rowid LIMIT ?)",
+                        (excess,),
+                    )
                 conn.execute("COMMIT")
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
-            return True
+            return max(0, excess)
 
-        self._with_retry(move, default=False)
+        # breaker=False: quarantining is the *reaction* to a corrupt row;
+        # its own success must not reset the failure streak being counted
+        evicted = self._with_retry(move, default=0, breaker=False)
+        if evicted:
+            self.stats.quarantine_evicted += int(evicted)
 
     # -- introspection (tests, ops tooling) ---------------------------------------
 

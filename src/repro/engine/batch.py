@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import time
 import traceback
 from collections import deque
@@ -39,9 +40,19 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from ..dataflow.context import AnalysisOptions
 from ..driver.panorama import Panorama
-from ..errors import FAULT_ERROR_KINDS, HARD_ERROR_KINDS, classify_exception
+from ..errors import (
+    EXIT_DEGRADED,
+    EXIT_HARD_FAILURE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    FAULT_ERROR_KINDS,
+    HARD_ERROR_KINDS,
+    classify_exception,
+)
 from ..resilience import faults
+from ..resilience.backoff import backoff_delay
 from .cache import CacheStats, CachingHooks, SummaryCache
+from .ledger import LedgerReplay, LedgerWriter
 from .scheduler import SchedulePlan, plan_schedule, resolve_schedule_mode
 from .telemetry import EngineTelemetry, result_to_dict
 
@@ -99,6 +110,9 @@ class BatchItemResult:
     attempts: int = 1
     #: True when the item used up max_attempts and was set aside
     quarantined: bool = False
+    #: True when this result was served from a run ledger (--resume)
+    #: instead of being analyzed by this process
+    from_ledger: bool = False
 
     @property
     def ok(self) -> bool:
@@ -134,8 +148,14 @@ class BatchReport:
     results: list[BatchItemResult]
     telemetry: EngineTelemetry
     #: every input item has a result (the supervisor guarantees this;
-    #: False would mean the engine itself lost items)
+    #: False would mean the engine itself lost items — unless the run
+    #: was interrupted, in which case undispatched items have none)
     complete: bool = True
+    #: True when a drain request or KeyboardInterrupt stopped the run
+    #: early; everything finalized so far was flushed (cache deltas,
+    #: ledger records), so the partial state is consistent and a
+    #: ledger resume continues exactly where this run stopped
+    interrupted: bool = False
 
     def result(self, name: str) -> BatchItemResult:
         for r in self.results:
@@ -195,17 +215,24 @@ class BatchReport:
         ]
 
     def exit_code(self) -> int:
-        """Process exit status: 0 clean, 3 degraded-but-complete, 1 hard.
+        """Process exit status: 0 clean, 3 degraded-but-complete, 1
+        hard, 5 interrupted-but-consistent.
 
         The distinction lets callers script around flaky infrastructure
         (3 = every item has a typed verdict or typed failure, some were
-        degraded) versus real input/analysis errors (1).
+        degraded; 5 = a drain/interrupt stopped the run early but the
+        partial state is flushed and resumable) versus real
+        input/analysis errors (1).
         """
-        if not self.complete or self.hard_failures():
-            return 1
+        if self.hard_failures():
+            return EXIT_HARD_FAILURE
+        if self.interrupted and not self.complete:
+            return EXIT_INTERRUPTED
+        if not self.complete:
+            return EXIT_HARD_FAILURE
         if self.degraded or not self.ok:
-            return 3
-        return 0
+            return EXIT_DEGRADED
+        return EXIT_OK
 
 
 # --------------------------------------------------------------------------- #
@@ -310,6 +337,30 @@ def _worker_main(args: tuple) -> BatchItemResult:
     )
 
 
+def _result_from_ledger(record: Mapping[str, Any]) -> BatchItemResult:
+    """Rehydrate a ledger ``done`` record into a served result.
+
+    The payload (and its cache-delta attribution) is exactly what the
+    original process computed — replay already verified the digest — so
+    a resumed run's report folds the same verdict data the uninterrupted
+    run would have.
+    """
+    known = CacheStats().as_dict()
+    raw = record.get("cache_stats") or {}
+    return BatchItemResult(
+        name=str(record.get("name", "?")),
+        payload=record.get("payload"),
+        cache_stats=CacheStats(
+            **{k: int(v) for k, v in raw.items() if k in known}
+        ),
+        stored_fingerprints=list(record.get("stored_fingerprints", [])),
+        reused_routines=list(record.get("reused_routines", [])),
+        computed_routines=list(record.get("computed_routines", [])),
+        attempts=int(record.get("attempt", 1)),
+        from_ledger=True,
+    )
+
+
 # --------------------------------------------------------------------------- #
 # the engine
 # --------------------------------------------------------------------------- #
@@ -340,6 +391,9 @@ class BatchEngine:
         audit: bool = False,
         cache_backend: str | None = None,
         schedule: str = "auto",
+        ledger: Optional[LedgerWriter] = None,
+        resume: Optional[LedgerReplay] = None,
+        drain_timeout: float = 10.0,
     ) -> None:
         self.options = options or AnalysisOptions()
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -366,9 +420,62 @@ class BatchEngine:
         #: supervision counters of the most recent run (rolled into the
         #: report's EngineTelemetry)
         self.supervision: dict[str, int] = {}
+        #: run ledger writer (None = no journaling) and the replay of a
+        #: prior ledger to resume from (None = fresh run); the caller
+        #: must have verified replay identity (ledger.verify_identity)
+        self.ledger = ledger
+        self.resume = resume
+        #: graceful drain: once requested, no new items are dispatched,
+        #: in-flight ones get this many seconds to finish, and the run
+        #: ends interrupted-but-consistent (report.interrupted)
+        self.drain_timeout = drain_timeout
+        self._drain_event = threading.Event()
+        #: True when the most recent run was stopped early
+        self.interrupted = False
+        #: items finalized this run (the engine.crash fault occurrence)
+        self._finalized = 0
+
+    def request_drain(self) -> None:
+        """Stop dispatching; finish in flight; flush; end the run.
+
+        Safe to call from a signal handler or another thread — the run
+        loop polls the event between dispatches.
+        """
+        self._drain_event.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain_event.is_set()
+
+    def _finalize(self, index: int, result: BatchItemResult) -> None:
+        """Journal one finalized item, then run the engine.crash site.
+
+        The fault fires *after* the ledger record lands — exactly the
+        hard-kill point the resume machinery must survive — with the
+        running finalized count as the occurrence, so ``engine.crash@N``
+        kills the process after the N-th finalized item.
+        """
+        if self.ledger is not None:
+            if result.ok:
+                self.ledger.record_done(index, result)
+            else:
+                self.ledger.record_failed(index, result)
+        self._finalized += 1
+        if faults.should_fire(
+            "engine.crash", key=result.name, occurrence=self._finalized
+        ):
+            os._exit(86)
 
     def run(self, items: Sequence[BatchItem]) -> BatchReport:
-        """Analyze every item; results come back in input order."""
+        """Analyze every item; results come back in input order.
+
+        With a ``resume`` replay, items whose ledger records say
+        ``done`` are served from the ledger (their cache deltas adopted
+        into the memory tier) and only the rest are analyzed.  A drain
+        request or KeyboardInterrupt stops the run early: everything
+        finalized keeps its result, cache deltas and ledger records are
+        flushed, and the report comes back ``interrupted``.
+        """
         t0 = time.perf_counter()
         self.supervision = {
             "retries": 0,
@@ -377,49 +484,96 @@ class BatchEngine:
             "pool_rebuilds": 0,
             "quarantined": 0,
         }
+        self.interrupted = False
+        self._finalized = 0
+        results_by_idx: list[Optional[BatchItemResult]] = [None] * len(items)
+        resumed: dict[int, BatchItemResult] = {}
+        if self.resume is not None:
+            for idx, item in enumerate(items):
+                record = self.resume.done.get(idx)
+                if record is not None and record.get("name") == item.name:
+                    resumed[idx] = _result_from_ledger(record)
+            for idx, res in resumed.items():
+                results_by_idx[idx] = res
+            if resumed and self.cache_dir is not None:
+                # their summaries are already in the durable tier: prime
+                # the memory tier so re-analyzed items start warm
+                self.cache.adopt(
+                    fp
+                    for res in resumed.values()
+                    for fp in res.stored_fingerprints
+                )
+        active = [i for i in range(len(items)) if i not in resumed]
+        sub_items = [items[i] for i in active]
         # timeouts need process isolation: a hung item can only be killed
         # from outside, so supervision forces the pool even for one item
         supervised = self.jobs > 1 and (
-            len(items) > 1 or self.timeout_per_item is not None
+            len(sub_items) > 1 or self.timeout_per_item is not None
         )
         mode = resolve_schedule_mode(
-            self.schedule, len(items), self.jobs, self.cache_dir
+            self.schedule, len(sub_items), self.jobs, self.cache_dir
         )
-        plan = plan_schedule(items, self.options, mode)
+        plan = plan_schedule(sub_items, self.options, mode)
         self.last_plan = plan
         if not supervised:
-            results_by_idx: list[Optional[BatchItemResult]] = [None] * len(items)
-            for idx in plan.order:
-                results_by_idx[idx] = _analyze_item(
-                    items[idx],
-                    self.options,
-                    self.cache_dir,
-                    self.run_machine_model,
-                    cache=self.cache,
-                    audit=self.audit,
-                    cache_backend=self.cache_backend,
-                )
-            results = [r for r in results_by_idx if r is not None]
+            try:
+                for sub_idx in plan.order:
+                    if self._drain_event.is_set():
+                        self.interrupted = True
+                        break
+                    idx = active[sub_idx]
+                    if self.ledger is not None:
+                        self.ledger.record_dispatched(
+                            idx, sub_items[sub_idx].name, attempt=1
+                        )
+                    res = _analyze_item(
+                        sub_items[sub_idx],
+                        self.options,
+                        self.cache_dir,
+                        self.run_machine_model,
+                        cache=self.cache,
+                        audit=self.audit,
+                        cache_backend=self.cache_backend,
+                    )
+                    results_by_idx[idx] = res
+                    self._finalize(idx, res)
+            except KeyboardInterrupt:
+                # Ctrl-C mid-item: keep everything finalized so far —
+                # the in-process cache already holds its stores, and the
+                # ledger's end record below makes the stop consistent
+                self.interrupted = True
         else:
-            results = self._run_pool(items, plan)
-        complete = len(results) == len(items) and all(
-            r is not None for r in results
-        )
+            pool_results = self._run_pool(sub_items, plan, index_map=active)
+            for sub_idx, res in enumerate(pool_results):
+                if res is not None:
+                    results_by_idx[active[sub_idx]] = res
+        results = [r for r in results_by_idx if r is not None]
+        complete = len(results) == len(items)
+        if self.ledger is not None:
+            self.ledger.record_end(
+                "interrupted" if self.interrupted else "complete"
+            )
         report = BatchReport(
-            results=results, telemetry=EngineTelemetry(), complete=complete
+            results=results,
+            telemetry=EngineTelemetry(),
+            complete=complete,
+            interrupted=self.interrupted,
         )
         tele = report.telemetry
         tele.jobs = self.jobs
         tele.wall_seconds = time.perf_counter() - t0
         tele.cache_backend = self.cache.backend_name
+        tele.interrupted = self.interrupted
         tele.sched.update(plan.as_dict())
         # topo payoff: cache hits landed by items that waited on at
         # least one scheduled provider (their warmth is the plan's work)
+        sub_results = [results_by_idx[i] for i in active]
         tele.sched["topo_hits"] = sum(
-            results[i].cache_stats.hits
+            sub_results[i].cache_stats.hits
             for i, d in plan.deps.items()
-            if d and i < len(results)
+            if d and i < len(sub_results) and sub_results[i] is not None
         )
+        tele.resilience["resumed_items"] = len(resumed)
         for res in results:
             if res.ok and res.payload is not None:
                 tele.note_result(res.payload)
@@ -467,7 +621,8 @@ class BatchEngine:
         self,
         items: Sequence[BatchItem],
         plan: Optional[SchedulePlan] = None,
-    ) -> list[BatchItemResult]:
+        index_map: Optional[Sequence[int]] = None,
+    ) -> list[Optional[BatchItemResult]]:
         """Supervised fan-out: deadlines, retries, pool rebuilds.
 
         State machine per item: *waiting* (topology-gated) → *ready* →
@@ -475,8 +630,19 @@ class BatchEngine:
         loop ends only when every item has a result, so the batch can
         never deadlock on a lost item; gated items are released when
         their providers finalize (success *or* failure — a dead
-        provider must never strand its consumers).
+        provider must never strand its consumers).  A drain request
+        empties the dispatch queues, gives in-flight items
+        ``drain_timeout`` seconds, then abandons the rest (their ledger
+        state stays ``dispatched``, so a resume re-runs them) — either
+        way the cache-delta merge below still happens, so nothing
+        finalized is lost.
+
+        *index_map* translates local indexes to the caller's item space
+        (ledger records must carry original indexes when a resume has
+        filtered the item list).
         """
+        if index_map is None:
+            index_map = list(range(len(items)))
         workers = min(self.jobs, len(items))
         results: list[Optional[BatchItemResult]] = [None] * len(items)
         attempts = [0] * len(items)
@@ -515,6 +681,10 @@ class BatchEngine:
 
         def submit(idx: int) -> None:
             attempts[idx] += 1
+            if self.ledger is not None:
+                self.ledger.record_dispatched(
+                    index_map[idx], items[idx].name, attempt=attempts[idx]
+                )
             fut = pool.submit(_worker_main, self._task(items[idx], attempts[idx]))
             deadline = (
                 time.monotonic() + self.timeout_per_item
@@ -527,8 +697,7 @@ class BatchEngine:
             """Record a failed attempt: retry, or produce a final result."""
             if kind != "source" and attempts[idx] < self.max_attempts:
                 sup["retries"] += 1
-                delay = self.backoff_base * (2 ** (attempts[idx] - 1))
-                delay += rng.uniform(0.0, self.backoff_base)
+                delay = backoff_delay(attempts[idx], self.backoff_base, rng)
                 delayed.append((time.monotonic() + delay, idx))
                 return
             quarantined = kind not in ("source",) and attempts[idx] >= self.max_attempts
@@ -542,144 +711,196 @@ class BatchEngine:
                 quarantined=quarantined,
             )
             release(idx)
+            self._finalize(index_map[idx], results[idx])
 
         def rebuild_pool() -> ProcessPoolExecutor:
             sup["pool_rebuilds"] += 1
             self._teardown_pool(pool)
             return ProcessPoolExecutor(max_workers=workers)
 
-        while ready or delayed or pending or waiting:
-            now = time.monotonic()
-            if waiting and not (ready or delayed or pending):
-                # safety valve: gating must never deadlock the batch —
-                # if nothing can make progress, drop the remaining gates
-                # (the plan is a perf hint, not a correctness invariant)
-                ready.extend(sorted(waiting))
-                waiting.clear()
-            if delayed:
-                still: list[tuple[float, int]] = []
-                for resume, idx in delayed:
-                    if resume <= now:
-                        ready.append(idx)
-                    else:
-                        still.append((resume, idx))
-                delayed = still
-            while ready and not (probe and pending):
-                idx = ready.popleft()
-                try:
-                    submit(idx)
-                except BrokenProcessPool:
-                    sup["worker_crashes"] += 1
-                    probe = True
-                    fail(
-                        idx,
-                        "worker-crash",
-                        f"worker pool broke submitting {items[idx].name} "
-                        f"(attempt {attempts[idx]})",
+        draining = False
+        drain_deadline: Optional[float] = None
+        try:
+            while ready or delayed or pending or waiting:
+                if self._drain_event.is_set() and not draining:
+                    # graceful drain: dispatch nothing further, let the
+                    # in-flight items finish inside the timeout; dropped
+                    # queue entries keep ledger state "dispatched"/none
+                    # and are re-dispatched by a resume
+                    draining = True
+                    self.interrupted = True
+                    drain_deadline = time.monotonic() + max(
+                        0.0, self.drain_timeout
                     )
-                    pool = rebuild_pool()
-            if not pending:
-                # everything is backing off: sleep to the nearest resume
+                    ready.clear()
+                    delayed.clear()
+                    waiting.clear()
+                if draining and not pending:
+                    break
+                now = time.monotonic()
+                if waiting and not (ready or delayed or pending):
+                    # safety valve: gating must never deadlock the batch
+                    # — if nothing can make progress, drop the remaining
+                    # gates (the plan is a perf hint, not a correctness
+                    # invariant)
+                    ready.extend(sorted(waiting))
+                    waiting.clear()
                 if delayed:
-                    time.sleep(max(0.0, min(t for t, _ in delayed) - now))
-                continue
+                    still: list[tuple[float, int]] = []
+                    for resume, idx in delayed:
+                        if resume <= now:
+                            ready.append(idx)
+                        else:
+                            still.append((resume, idx))
+                    delayed = still
+                while ready and not (probe and pending):
+                    idx = ready.popleft()
+                    try:
+                        submit(idx)
+                    except BrokenProcessPool:
+                        sup["worker_crashes"] += 1
+                        probe = True
+                        fail(
+                            idx,
+                            "worker-crash",
+                            f"worker pool broke submitting {items[idx].name} "
+                            f"(attempt {attempts[idx]})",
+                        )
+                        pool = rebuild_pool()
+                if not pending:
+                    # everything is backing off: sleep to the nearest
+                    # resume time
+                    if delayed:
+                        time.sleep(
+                            max(0.0, min(t for t, _ in delayed) - now)
+                        )
+                    continue
 
-            wait_until: Optional[float] = None
-            for _, deadline in pending.values():
-                if deadline is not None:
+                wait_until: Optional[float] = None
+                for _, deadline in pending.values():
+                    if deadline is not None:
+                        wait_until = (
+                            deadline
+                            if wait_until is None
+                            else min(wait_until, deadline)
+                        )
+                for resume, _ in delayed:
                     wait_until = (
-                        deadline
+                        resume
                         if wait_until is None
-                        else min(wait_until, deadline)
+                        else min(wait_until, resume)
                     )
-            for resume, _ in delayed:
-                wait_until = (
-                    resume if wait_until is None else min(wait_until, resume)
+                if drain_deadline is not None:
+                    wait_until = (
+                        drain_deadline
+                        if wait_until is None
+                        else min(wait_until, drain_deadline)
+                    )
+                timeout = (
+                    None if wait_until is None else max(0.0, wait_until - now)
                 )
-            timeout = (
-                None if wait_until is None else max(0.0, wait_until - now)
-            )
-            done, _ = wait(
-                set(pending), timeout=timeout, return_when=FIRST_COMPLETED
-            )
+                done, _ = wait(
+                    set(pending), timeout=timeout, return_when=FIRST_COMPLETED
+                )
 
-            broken = False
-            for fut in done:
-                idx, _ = pending.pop(fut)
-                try:
-                    res = fut.result()
-                except BrokenProcessPool:
-                    broken = True
-                    sup["worker_crashes"] += 1
-                    fail(
-                        idx,
-                        "worker-crash",
-                        f"worker process died analyzing {items[idx].name} "
-                        f"(attempt {attempts[idx]})",
-                    )
-                except Exception as exc:  # pickling errors etc.
-                    fail(idx, classify_exception(exc), repr(exc))
-                else:
-                    # the worker round-tripped: crashes are attributable
-                    # again, leave probe mode
-                    probe = False
-                    if res.ok:
-                        results[idx] = res
-                        release(idx)
+                broken = False
+                for fut in done:
+                    idx, _ = pending.pop(fut)
+                    try:
+                        res = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        sup["worker_crashes"] += 1
+                        fail(
+                            idx,
+                            "worker-crash",
+                            f"worker process died analyzing "
+                            f"{items[idx].name} (attempt {attempts[idx]})",
+                        )
+                    except Exception as exc:  # pickling errors etc.
+                        fail(idx, classify_exception(exc), repr(exc))
                     else:
-                        fail(idx, res.error_kind or "internal", res.error)
-            if broken:
-                # the crash poisons every in-flight future: penalize them
-                # one attempt each (the culprit cannot be attributed) and
-                # re-dispatch through the retry path on a fresh pool
-                probe = True
-                sup["worker_crashes"] += len(pending)
-                for fut, (idx, _) in list(pending.items()):
-                    fail(
-                        idx,
-                        "worker-crash",
-                        f"worker pool broke while {items[idx].name} was "
-                        f"in flight (attempt {attempts[idx]})",
-                    )
-                pending.clear()
-                pool = rebuild_pool()
-                continue
+                        # the worker round-tripped: crashes are
+                        # attributable again, leave probe mode
+                        probe = False
+                        if res.ok:
+                            results[idx] = res
+                            release(idx)
+                            self._finalize(index_map[idx], res)
+                        else:
+                            fail(idx, res.error_kind or "internal", res.error)
+                if broken:
+                    # the crash poisons every in-flight future: penalize
+                    # them one attempt each (the culprit cannot be
+                    # attributed) and re-dispatch through the retry path
+                    # on a fresh pool
+                    probe = True
+                    sup["worker_crashes"] += len(pending)
+                    for fut, (idx, _) in list(pending.items()):
+                        fail(
+                            idx,
+                            "worker-crash",
+                            f"worker pool broke while {items[idx].name} was "
+                            f"in flight (attempt {attempts[idx]})",
+                        )
+                    pending.clear()
+                    pool = rebuild_pool()
+                    continue
 
-            # deadline sweep: any in-flight item past its budget is hung
-            now = time.monotonic()
-            expired = [
-                (fut, idx)
-                for fut, (idx, deadline) in pending.items()
-                if deadline is not None and now >= deadline
-            ]
-            if expired:
-                sup["timeouts"] += len(expired)
-                expired_ids = set()
-                for fut, idx in expired:
-                    expired_ids.add(idx)
-                    del pending[fut]
-                    fail(
-                        idx,
-                        "timeout",
-                        f"{items[idx].name} exceeded {self.timeout_per_item}s "
-                        f"(attempt {attempts[idx]})",
-                    )
-                # a hung worker cannot be cancelled: rebuild the pool and
-                # re-dispatch the innocent in-flight items at no attempt
-                # cost (their work is lost, not their fault)
-                innocents = [idx for _, (idx, _) in pending.items()]
-                pending.clear()
-                for idx in innocents:
-                    attempts[idx] -= 1
-                    ready.append(idx)
-                pool = rebuild_pool()
+                # deadline sweep: in-flight items past their budget hung
+                now = time.monotonic()
+                expired = [
+                    (fut, idx)
+                    for fut, (idx, deadline) in pending.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if expired:
+                    sup["timeouts"] += len(expired)
+                    expired_ids = set()
+                    for fut, idx in expired:
+                        expired_ids.add(idx)
+                        del pending[fut]
+                        fail(
+                            idx,
+                            "timeout",
+                            f"{items[idx].name} exceeded "
+                            f"{self.timeout_per_item}s "
+                            f"(attempt {attempts[idx]})",
+                        )
+                    # a hung worker cannot be cancelled: rebuild the pool
+                    # and re-dispatch the innocent in-flight items at no
+                    # attempt cost (their work is lost, not their fault)
+                    innocents = [idx for _, (idx, _) in pending.items()]
+                    pending.clear()
+                    for idx in innocents:
+                        attempts[idx] -= 1
+                        ready.append(idx)
+                    pool = rebuild_pool()
 
-        self._teardown_pool(pool)
-        final = [r for r in results if r is not None]
+                if (
+                    draining
+                    and pending
+                    and drain_deadline is not None
+                    and time.monotonic() >= drain_deadline
+                ):
+                    # drain timeout expired with work still in flight:
+                    # abandon it (ledger state stays "dispatched", so a
+                    # resume re-runs exactly those items)
+                    pending.clear()
+                    break
+        except KeyboardInterrupt:
+            # Ctrl-C without a drain handler installed: salvage every
+            # finalized result instead of dropping the whole batch; the
+            # delta merge below still flushes the warm summaries the
+            # workers shipped before the interrupt
+            self.interrupted = True
+        finally:
+            self._teardown_pool(pool)
         # merge the workers' cache deltas into this process's memory tier
         if self.cache_dir is not None:
             delta: list[str] = []
-            for res in final:
-                delta.extend(res.stored_fingerprints)
+            for res in results:
+                if res is not None:
+                    delta.extend(res.stored_fingerprints)
             self.cache.adopt(delta)
-        return final
+        return results

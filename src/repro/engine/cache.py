@@ -139,6 +139,14 @@ class CacheStats:
     shared_hits: int = 0
     shared_misses: int = 0
     contention_retries: int = 0
+    #: quarantine entries dropped by the oldest-first growth cap
+    quarantine_evicted: int = 0
+    #: circuit-breaker events around the durable tier (see
+    #: repro.resilience.breaker): trips into local-only degraded mode,
+    #: recoveries out of it, and operations short-circuited while open
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
+    breaker_skipped: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
@@ -152,6 +160,10 @@ class CacheStats:
         self.shared_hits += other.shared_hits
         self.shared_misses += other.shared_misses
         self.contention_retries += other.contention_retries
+        self.quarantine_evicted += other.quarantine_evicted
+        self.breaker_trips += other.breaker_trips
+        self.breaker_recoveries += other.breaker_recoveries
+        self.breaker_skipped += other.breaker_skipped
 
     def copy(self) -> "CacheStats":
         return CacheStats(**self.as_dict())
@@ -177,6 +189,10 @@ class CacheStats:
             "shared_hits": self.shared_hits,
             "shared_misses": self.shared_misses,
             "contention_retries": self.contention_retries,
+            "quarantine_evicted": self.quarantine_evicted,
+            "breaker_trips": self.breaker_trips,
+            "breaker_recoveries": self.breaker_recoveries,
+            "breaker_skipped": self.breaker_skipped,
         }
 
 

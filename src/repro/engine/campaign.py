@@ -342,6 +342,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write this shard's telemetry (feed the files to --rollup)",
     )
     parser.add_argument(
+        "--ledger", metavar="PATH",
+        help="journal shard progress to this append-only JSONL ledger "
+        "(one record per item transition; feed it to --resume)",
+    )
+    parser.add_argument(
+        "--resume", metavar="LEDGER",
+        help="resume an interrupted shard from its ledger: completed "
+        "items are served from the journal, the rest re-dispatched; "
+        "refuses a ledger from a different campaign/shard",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, give in-flight items this long to "
+        "finish before abandoning them (default 10; exit code 5)",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="print the generated item names and exit (no analysis)",
     )
@@ -403,17 +419,48 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     from ..dataflow import AnalysisOptions
+    from ..errors import EXIT_INTERRUPTED
     from .batch import BatchEngine
+    from .cli import install_drain_handlers, prepare_ledger
+    from .ledger import run_identity
 
+    options = AnalysisOptions()
+    identity = run_identity(
+        "campaign",
+        items,
+        options,
+        machine=not args.no_machine,
+        campaign={
+            "seed": args.seed,
+            "generator_version": GENERATOR_VERSION,
+            "count": args.count,
+            "shard": shard_spec,
+        },
+    )
+    try:
+        writer, replay = prepare_ledger(
+            args.ledger, args.resume, identity, "panorama-campaign"
+        )
+    except SystemExit as exc:
+        return int(exc.code or 0)
     engine = BatchEngine(
-        AnalysisOptions(),
+        options,
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         run_machine_model=not args.no_machine,
         cache_backend=args.cache_backend,
         schedule=args.schedule,
+        ledger=writer,
+        resume=replay,
+        drain_timeout=args.drain_timeout,
     )
-    report = engine.run(items)
+    restore_signals = install_drain_handlers(engine)
+    try:
+        report = engine.run(items)
+    finally:
+        restore_signals()
+        if writer is not None:
+            writer.close()
     tele = report.telemetry
     tele.campaign = {
         "seed": args.seed,
@@ -434,7 +481,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"--- {res.name}: ERROR ({res.error_kind}) ---\n{res.error}",
                 file=sys.stderr,
             )
-    return report.exit_code()
+    code = report.exit_code()
+    if code == EXIT_INTERRUPTED:
+        ledger_path = args.ledger or args.resume
+        hint = (
+            f" (resume with --resume {ledger_path})" if ledger_path else ""
+        )
+        print(
+            f"panorama-campaign: shard {shard_spec} interrupted; finalized "
+            f"progress is flushed and consistent{hint} (exit 5)",
+            file=sys.stderr,
+        )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

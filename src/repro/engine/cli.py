@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 
 from types import SimpleNamespace
@@ -19,8 +20,10 @@ from types import SimpleNamespace
 from .. import __version__
 from ..dataflow import AnalysisOptions
 from ..driver.report import format_stats, format_table, yes_no
+from ..errors import EXIT_INTERRUPTED, EXIT_USAGE
 from ..resilience import faults
 from ..resilience.faults import ENV_VAR
+from . import ledger as ledger_mod
 from .batch import BatchEngine, items_from_kernel_registry, items_from_paths
 
 
@@ -134,6 +137,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="fault plan, e.g. 'worker.crash:MDG@1;cache.corrupt' "
         f"(equivalent to setting ${ENV_VAR}; chaos testing only)",
     )
+    resilience.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="journal run progress to this append-only JSONL ledger "
+        "(one record per item transition; feed it to --resume)",
+    )
+    resilience.add_argument(
+        "--resume",
+        metavar="LEDGER",
+        help="resume an interrupted run from its ledger: completed "
+        "items are served from the journal, in-flight and failed ones "
+        "re-dispatched; refuses a ledger written for a different run",
+    )
+    resilience.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, give in-flight items this long to "
+        "finish before abandoning them (default 10; exit code 5)",
+    )
     audit = parser.add_argument_group("auditing (docs/auditing.md)")
     audit.add_argument(
         "--audit",
@@ -157,6 +181,72 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
     return parser
+
+
+def prepare_ledger(ledger_path, resume_path, identity, prog):
+    """``(writer, replay)`` for the --ledger/--resume flags.
+
+    Raises ``SystemExit(EXIT_USAGE)`` after printing the reason when the
+    flags conflict, the ledger cannot be opened, or — the crucial
+    refusal — its identity header describes a different run.
+    """
+    if resume_path:
+        if ledger_path and os.path.abspath(ledger_path) != os.path.abspath(
+            resume_path
+        ):
+            print(
+                f"{prog}: --ledger and --resume must name the same file",
+                file=sys.stderr,
+            )
+            raise SystemExit(EXIT_USAGE)
+        try:
+            replay = ledger_mod.replay(resume_path)
+            ledger_mod.verify_identity(replay.header, identity)
+        except OSError as exc:
+            print(f"{prog}: cannot resume: {exc}", file=sys.stderr)
+            raise SystemExit(EXIT_USAGE)
+        except ledger_mod.LedgerMismatch as exc:
+            print(f"{prog}: refusing to resume: {exc}", file=sys.stderr)
+            raise SystemExit(EXIT_USAGE)
+        return (
+            ledger_mod.LedgerWriter(resume_path, identity, resume=True),
+            replay,
+        )
+    if ledger_path:
+        try:
+            return ledger_mod.LedgerWriter(ledger_path, identity), None
+        except OSError as exc:
+            print(f"{prog}: cannot open ledger: {exc}", file=sys.stderr)
+            raise SystemExit(EXIT_USAGE)
+    return None, None
+
+
+def install_drain_handlers(engine: BatchEngine):
+    """SIGTERM/SIGINT → graceful drain; returns a restore callback.
+
+    The handler only sets an event the run loop polls, so it is
+    async-signal-safe; in-flight items finish inside the engine's
+    drain timeout and the run exits interrupted-but-consistent.
+    """
+    previous = {}
+
+    def _drain(signum, frame):
+        engine.request_drain()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _drain)
+        except (ValueError, OSError):  # non-main thread, or unsupported
+            pass
+
+    def restore():
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+
+    return restore
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -188,6 +278,15 @@ def main(argv: list[str] | None = None) -> int:
         budget_steps=args.budget_steps,
     )
     run_audit = bool(args.audit or args.sarif or args.strict_audit)
+    identity = ledger_mod.run_identity(
+        "batch", items, options, audit=run_audit, machine=not args.no_machine
+    )
+    try:
+        writer, replay = prepare_ledger(
+            args.ledger, args.resume, identity, "panorama-batch"
+        )
+    except SystemExit as exc:
+        return int(exc.code or 0)
     engine = BatchEngine(
         options,
         cache_dir=args.cache_dir,
@@ -198,8 +297,17 @@ def main(argv: list[str] | None = None) -> int:
         audit=run_audit,
         cache_backend=args.cache_backend,
         schedule=args.schedule,
+        ledger=writer,
+        resume=replay,
+        drain_timeout=args.drain_timeout,
     )
-    report = engine.run(items)
+    restore_signals = install_drain_handlers(engine)
+    try:
+        report = engine.run(items)
+    finally:
+        restore_signals()
+        if writer is not None:
+            writer.close()
 
     if args.json:
         print(
@@ -299,6 +407,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "panorama-batch: completed with degradations "
             "(see docs/robustness.md; exit 3)",
+            file=sys.stderr,
+        )
+    elif code == EXIT_INTERRUPTED:
+        ledger_path = args.ledger or args.resume
+        hint = (
+            f" (resume with --resume {ledger_path})" if ledger_path else ""
+        )
+        print(
+            "panorama-batch: interrupted; finalized progress is flushed "
+            f"and consistent{hint} (exit 5)",
             file=sys.stderr,
         )
     return code

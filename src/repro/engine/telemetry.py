@@ -163,6 +163,7 @@ class EngineTelemetry:
             "quarantined": 0,
             "degraded_items": 0,
             "degraded_loops": 0,
+            "resumed_items": 0,
         }
     )
     #: static-audit counters (docs/auditing.md), folded from per-item
@@ -207,6 +208,9 @@ class EngineTelemetry:
     campaign: dict[str, Any] = field(default_factory=dict)
     #: verdict histogram: per-loop status values → counts
     verdicts: dict[str, int] = field(default_factory=dict)
+    #: True when a drain request or interrupt stopped the run early
+    #: (exit code 5; see docs/robustness.md "Crash safety & resume")
+    interrupted: bool = False
 
     def note_result(self, payload: dict[str, Any]) -> None:
         """Fold one serialized compilation result into the roll-up."""
@@ -258,6 +262,7 @@ class EngineTelemetry:
             "sched": dict(self.sched),
             "campaign": dict(self.campaign),
             "verdicts": dict(self.verdicts),
+            "interrupted": self.interrupted,
         }
 
     def to_json(self, indent: int | None = 2) -> str:

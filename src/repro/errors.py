@@ -93,6 +93,18 @@ class ItemTimeout(ResilienceError):
 HARD_ERROR_KINDS = frozenset({"source", "analysis", "internal"})
 FAULT_ERROR_KINDS = frozenset({"worker-crash", "timeout", "oom", "budget"})
 
+#: process exit codes shared by every CLI (docs/robustness.md): clean,
+#: hard failure (bad input / analysis bug / lost items), usage error,
+#: degraded-but-complete, strict-audit finding, and interrupted-but-
+#: consistent (a drain or Ctrl-C stopped the run; everything finalized
+#: so far is flushed and a ledger resume continues where it left off)
+EXIT_OK = 0
+EXIT_HARD_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+EXIT_AUDIT_FAILED = 4
+EXIT_INTERRUPTED = 5
+
 
 def classify_exception(exc: BaseException) -> str:
     """Map an exception to the batch engine's typed error taxonomy.

@@ -10,6 +10,11 @@ supervision* (the batch engine), and both must be observable:
   convert into the conservative whole-array summary;
 * :mod:`repro.resilience.faults` — seeded, deterministic fault plans
   (env-var gated) driving the ``tests/chaos`` suite;
+* :mod:`repro.resilience.breaker` — the circuit breaker that trips a
+  persistently sick durable cache tier into local-only degraded mode
+  (seeded half-open probes, counted trips/recoveries);
+* :mod:`repro.resilience.backoff` — the one seeded exponential-backoff
+  formula every retry loop (batch supervisor, HTTP client) shares;
 * the typed error taxonomy lives in :mod:`repro.errors`
   (``BudgetExceeded``, ``WorkerCrash``, ``ItemTimeout``,
   ``classify_exception``).
@@ -26,6 +31,8 @@ from ..errors import (
     WorkerCrash,
     classify_exception,
 )
+from .backoff import backoff_delay
+from .breaker import CircuitBreaker
 from .budget import (
     AnalysisBudget,
     active_budget,
@@ -37,12 +44,14 @@ from .faults import FaultPlan, FaultSpec, parse_plan, should_fire
 __all__ = [
     "AnalysisBudget",
     "BudgetExceeded",
+    "CircuitBreaker",
     "FaultPlan",
     "FaultSpec",
     "ItemTimeout",
     "ResilienceError",
     "WorkerCrash",
     "active_budget",
+    "backoff_delay",
     "budget_scope",
     "charge",
     "classify_exception",

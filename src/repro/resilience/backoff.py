@@ -1,0 +1,28 @@
+"""Seeded exponential backoff, shared by every retry loop in the tree.
+
+One formula, one place: the batch supervisor's item retries, the HTTP
+client's 429/503 retries, and any future retry ladder all compute their
+delay here, so "exponential backoff with seeded jitter" means the same
+thing (and stays bit-reproducible under a fixed seed) everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def backoff_delay(
+    attempt: int,
+    base: float,
+    rng: random.Random,
+    floor: float = 0.0,
+) -> float:
+    """Delay in seconds before retrying *attempt* (1-based).
+
+    Exponential in the attempt number with uniform seeded jitter of up
+    to one *base* on top; *floor* lifts the result to at least that many
+    seconds (used to honor a server-advertised ``Retry-After``).
+    """
+    delay = base * (2 ** (max(1, attempt) - 1))
+    delay += rng.uniform(0.0, base)
+    return max(floor, delay)

@@ -1,0 +1,135 @@
+"""Circuit breaker: fail fast on a sick dependency, probe for recovery.
+
+The batch engine's durable cache tiers (:mod:`repro.engine.backends`)
+already degrade *per operation* — a busy or corrupt SQLite row costs one
+retry ladder and one miss.  What they cannot do alone is notice that the
+shared tier is *persistently* sick: every miss then still pays the full
+busy-retry ladder, and a fleet of workers hammering a wedged database
+turns one slow dependency into a slow fleet.
+
+:class:`CircuitBreaker` adds that memory.  It watches consecutive
+failures; at :attr:`failure_threshold` it *trips* into the ``open``
+state, where the guarded operation is skipped outright (the cache
+backend answers "miss"/"dropped" locally — degraded local-only mode).
+After a seeded number of short-circuited operations one call is allowed
+through as a ``half-open`` probe: success closes the breaker
+(recovery), failure re-opens it for another probe window.
+
+Determinism: the probe schedule counts *operations*, not wall-clock, and
+its jitter comes from a seeded :class:`random.Random` — a chaos run with
+a fixed fault plan trips and recovers at reproducible points.  All
+transitions are surfaced as counters (``trips`` / ``recoveries`` /
+``short_circuits``) that the backends mirror into
+:class:`~repro.engine.cache.CacheStats`.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: state names, in escalation order
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Deterministic, operation-counted circuit breaker.
+
+    Usage pattern (see :class:`~repro.engine.backends.SharedSQLiteBackend`)::
+
+        if not breaker.allow():
+            return None                # degraded local-only answer
+        try:
+            result = op()
+            breaker.record_success()
+        except ...:
+            breaker.record_failure()
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        probe_after: int = 16,
+        seed: int = 0,
+    ) -> None:
+        #: consecutive failures (while closed) that trip the breaker
+        self.failure_threshold = max(1, failure_threshold)
+        #: short-circuited operations before a half-open probe; each
+        #: trip adds seeded jitter so fleets don't probe in lockstep
+        self.probe_after = max(1, probe_after)
+        self.state = CLOSED
+        self.trips = 0
+        self.recoveries = 0
+        self.short_circuits = 0
+        self._consecutive_failures = 0
+        self._skip_remaining = 0
+        self._rng = random.Random(seed)
+
+    # -- the guard ----------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the guarded operation run?  False = short-circuit it.
+
+        In the ``open`` state this counts down the probe window; the
+        call that exhausts it transitions to ``half-open`` and is let
+        through as the probe.  While a probe's outcome is pending any
+        further operations stay short-circuited (one probe at a time).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and self._skip_remaining <= 0:
+            self.state = HALF_OPEN
+            return True
+        if self.state == OPEN:
+            self._skip_remaining -= 1
+        self.short_circuits += 1
+        return False
+
+    # -- outcome reporting --------------------------------------------------------
+
+    def record_success(self) -> bool:
+        """An allowed operation succeeded; True when this *recovered*
+        (closed a half-open breaker)."""
+        recovered = self.state == HALF_OPEN
+        if recovered:
+            self.recoveries += 1
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        return recovered
+
+    def record_failure(self) -> bool:
+        """An allowed operation failed; True when this *tripped* the
+        breaker (closed/half-open → open)."""
+        if self.state == HALF_OPEN:
+            self._open()
+            return True
+        self._consecutive_failures += 1
+        if self.state == CLOSED and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+            return True
+        return False
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.trips += 1
+        self._consecutive_failures = 0
+        self._skip_remaining = self.probe_after + self._rng.randrange(
+            self.probe_after // 4 + 1
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "short_circuits": self.short_circuits,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, trips={self.trips}, "
+            f"recoveries={self.recoveries})"
+        )

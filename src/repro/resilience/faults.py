@@ -12,7 +12,11 @@ Spec syntax (``;``-separated)::
     site[:key][@n]
 
 * ``site`` — the injection point, e.g. ``worker.crash``, ``item.hang``,
-  ``item.error``, ``cache.read``, ``cache.corrupt``, ``budget.exhaust``;
+  ``item.error``, ``cache.read``, ``cache.corrupt``, ``budget.exhaust``,
+  ``backend.read``/``backend.write``/``backend.busy`` (shared SQLite
+  tier I/O and lock-exhaustion), ``ledger.write`` (torn journal line),
+  ``engine.crash`` (hard process kill between items), ``server.conn``
+  (dropped daemon connection);
 * ``key`` — optional filter (item name, cache fingerprint prefix);
   ``*`` or absent matches any key;
 * ``@n`` — fire only on the *n*-th occurrence (for worker faults the

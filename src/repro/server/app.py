@@ -33,6 +33,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
 
+from ..resilience import faults
 from .http import (
     ProtocolError,
     Request,
@@ -95,6 +96,30 @@ class PanoramaServer:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._executor.shutdown(wait=False, cancel_futures=True)
 
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Gracefully drain: stop admitting, let in-flight work finish.
+
+        Flips the service into draining mode — health reports
+        ``"draining"`` and new analysis requests get 503 + Retry-After
+        (the listener stays open so clients receive the typed rejection,
+        not a connection refusal) — then waits up to *timeout* seconds
+        (default ``ServerConfig.drain_timeout_s``) for the in-flight
+        gauge to hit zero before tearing everything down with
+        :meth:`aclose`.  Returns True when every in-flight request
+        completed inside the budget.
+        """
+        service = self.service
+        service.draining = True
+        if timeout is None:
+            timeout = service.config.drain_timeout_s
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout)
+        while service.admission["in_flight"] > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        clean = service.admission["in_flight"] == 0
+        await self.aclose()
+        return clean
+
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
@@ -106,6 +131,12 @@ class PanoramaServer:
         if task is not None:
             self._connections.add(task)
         try:
+            if faults.should_fire("server.conn"):
+                # chaos site: the daemon drops this connection cold, as a
+                # crashed peer or a mid-accept kill would (clients see a
+                # reset / empty reply and must retry)
+                writer.transport.abort()
+                return
             while True:
                 try:
                     request = await read_request(
@@ -327,9 +358,24 @@ class PanoramaServer:
     # -- admission ----------------------------------------------------------------
 
     def _admit(self) -> Optional[bytes]:
-        """Take an in-flight slot, or build the 429 rejection."""
+        """Take an in-flight slot, or build the 429/503 rejection."""
         service = self.service
         cfg = service.config
+        if service.draining:
+            service.admission["drained_rejects"] += 1
+            service.note_response(503)
+            return json_response(
+                503,
+                error_body(
+                    503,
+                    "draining",
+                    "daemon is draining; in-flight requests are finishing "
+                    "and no new work is admitted",
+                ),
+                extra_headers=[
+                    ("Retry-After", f"{max(1, round(cfg.retry_after_s))}")
+                ],
+            )
         if service.admission["in_flight"] >= cfg.max_inflight:
             service.admission["rejected"] += 1
             service.note_response(429)
@@ -430,6 +476,22 @@ class ServerThread:
     def host(self) -> str:
         assert self.server is not None, "start() first"
         return self.server.host
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Run a graceful drain on the server's loop; returns True when
+        every in-flight request finished inside the budget."""
+        assert self.server is not None and self._loop is not None, (
+            "start() first"
+        )
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop
+        )
+        budget = (
+            timeout
+            if timeout is not None
+            else self.service.config.drain_timeout_s
+        )
+        return bool(future.result(timeout=budget + 30.0))
 
     def stop(self) -> None:
         if self._loop is not None and self._thread is not None:

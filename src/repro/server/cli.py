@@ -17,10 +17,12 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 from pathlib import Path
 
 from .. import __version__
+from ..errors import EXIT_INTERRUPTED
 from .app import PanoramaServer, ServerThread
 from .service import AnalysisService, ServerConfig
 
@@ -96,6 +98,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="run the static soundness auditor on every analyze by default",
     )
     parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="on SIGTERM/SIGINT, seconds to let in-flight requests "
+        "finish (new work gets 503) before exiting 5 (default 10)",
+    )
+    parser.add_argument(
         "--ready-file",
         metavar="PATH",
         help="write '<host> <port>' once listening (CI handshake)",
@@ -123,6 +133,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         cache_dir=args.cache_dir,
         cache_backend=args.cache_backend,
         audit=args.audit,
+        drain_timeout_s=args.drain_timeout,
     )
 
 
@@ -133,7 +144,7 @@ def main(argv: list[str] | None = None) -> int:
 
     service = AnalysisService(config_from_args(args))
 
-    async def _run() -> None:
+    async def _run() -> int:
         server = await PanoramaServer(service).start()
         print(
             f"panorama-serve {__version__} listening on {server.url} "
@@ -145,16 +156,49 @@ def main(argv: list[str] | None = None) -> int:
             Path(args.ready_file).write_text(
                 f"{server.host} {server.port}\n"
             )
+        # graceful drain: SIGTERM/SIGINT stop admission, let in-flight
+        # requests finish within --drain-timeout, then exit 5 (the
+        # interrupted-but-consistent code the batch CLIs share)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-Unix loop / nested loop: ^C stays a KeyboardInterrupt
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiting = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {serving, waiting}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stop.is_set():
+                print(
+                    "panorama-serve: draining (in-flight requests have "
+                    f"{service.config.drain_timeout_s:g}s to finish; new "
+                    "requests get 503)",
+                    file=sys.stderr,
+                )
+                clean = await server.drain()
+                print(
+                    "panorama-serve: drained cleanly (exit 5)"
+                    if clean
+                    else "panorama-serve: drain timeout expired (exit 5)",
+                    file=sys.stderr,
+                )
+                return EXIT_INTERRUPTED
+            return 0
         finally:
+            serving.cancel()
+            waiting.cancel()
+            await asyncio.gather(serving, waiting, return_exceptions=True)
             await server.aclose()
 
     try:
-        asyncio.run(_run())
+        return asyncio.run(_run())
     except KeyboardInterrupt:
-        print("panorama-serve: shutting down", file=sys.stderr)
-    return 0
+        print("panorama-serve: shutting down (exit 5)", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 # --------------------------------------------------------------------------- #
@@ -263,11 +307,13 @@ def run_selftest(config: ServerConfig) -> int:
                 f"kind={exc.kind}",
             )
 
-        # deterministic saturation: ceiling 0 → immediate 429
+        # deterministic saturation: ceiling 0 → immediate 429 (a
+        # non-retrying client, so the raw rejection is observable)
+        fail_fast = PanoramaClient(port=thread.port, retries=0)
         ceiling = service.config.max_inflight
         service.config.max_inflight = 0
         try:
-            client.analyze(FIGURE_1A)
+            fail_fast.analyze(FIGURE_1A)
             check("429 on saturation", False)
         except ServiceError as exc:
             check(

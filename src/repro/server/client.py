@@ -17,7 +17,15 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Any, Iterator, Optional
+
+from ..resilience.backoff import backoff_delay
+
+#: HTTP statuses the client treats as transient back-pressure: 429
+#: (saturated) and 503 (draining daemon) both advertise Retry-After
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServiceError(Exception):
@@ -43,17 +51,32 @@ class ServiceError(Exception):
 
 
 class PanoramaClient:
-    """Client for one daemon instance."""
+    """Client for one daemon instance.
+
+    Transient back-pressure is retried: a 429 (saturated) or 503
+    (draining) response — or a connection the daemon dropped cold — is
+    retried up to *retries* times, sleeping the larger of the server's
+    ``Retry-After`` hint and the batch engine's seeded exponential
+    backoff (:func:`repro.resilience.backoff.backoff_delay`, so waits
+    are reproducible under a fixed *retry_seed*).  ``retries=0``
+    restores fail-fast behaviour for tests that assert on the raw 429.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8321,
         timeout: float = 300.0,
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        retry_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.retry_seed = retry_seed
 
     # -- plumbing -----------------------------------------------------------------
 
@@ -61,7 +84,30 @@ class PanoramaClient:
         self, method: str, path: str, body: Any | None = None
     ) -> dict[str, Any]:
         """One JSON request/response round trip; raises ServiceError on
-        non-2xx statuses."""
+        non-2xx statuses.  429/503 and dropped connections are retried
+        per the constructor's retry policy."""
+        rng = random.Random(self.retry_seed)
+        attempt = 0
+        while True:
+            try:
+                return self._round_trip(method, path, body)
+            except ServiceError as exc:
+                if exc.status not in RETRYABLE_STATUSES or attempt >= self.retries:
+                    raise
+                floor = exc.retry_after or 0.0
+            except (ConnectionError, http.client.BadStatusLine):
+                # daemon dropped the connection cold (crash, chaos site
+                # server.conn): indistinguishable from a restart window
+                if attempt >= self.retries:
+                    raise
+                floor = 0.0
+            attempt += 1
+            time.sleep(backoff_delay(attempt, self.backoff_base, rng,
+                                     floor=floor))
+
+    def _round_trip(
+        self, method: str, path: str, body: Any | None
+    ) -> dict[str, Any]:
         conn = self._connect()
         try:
             self._send(conn, method, path, body)
@@ -131,25 +177,43 @@ class PanoramaClient:
         audit: bool | None = None,
     ) -> Iterator[dict[str, Any]]:
         """``POST /v1/analyze?stream=1``: yields NDJSON events as the
-        daemon produces them; the last event is ``done`` or ``error``."""
-        conn = self._connect()
-        try:
-            self._send(
-                conn,
-                "POST",
-                "/v1/analyze?stream=1",
-                self._body(source, name, options, sizes, audit),
-            )
-            resp = conn.getresponse()
-            if resp.status != 200:
-                self._decode(resp, resp.read())  # raises ServiceError
-            # EOF-terminated NDJSON: one JSON document per line
-            for raw in resp:
-                line = raw.strip()
-                if line:
-                    yield json.loads(line)
-        finally:
-            conn.close()
+        daemon produces them; the last event is ``done`` or ``error``.
+
+        Only the *initial* status is retried (429/503/dropped
+        connection); once events start flowing a failure surfaces
+        mid-iteration, as any streaming consumer must expect."""
+        body = self._body(source, name, options, sizes, audit)
+        rng = random.Random(self.retry_seed)
+        attempt = 0
+        while True:
+            conn = self._connect()
+            try:
+                try:
+                    self._send(conn, "POST", "/v1/analyze?stream=1", body)
+                    resp = conn.getresponse()
+                    if resp.status != 200:
+                        self._decode(resp, resp.read())  # raises ServiceError
+                except ServiceError as exc:
+                    if (exc.status not in RETRYABLE_STATUSES
+                            or attempt >= self.retries):
+                        raise
+                    floor = exc.retry_after or 0.0
+                except (ConnectionError, http.client.BadStatusLine):
+                    if attempt >= self.retries:
+                        raise
+                    floor = 0.0
+                else:
+                    # EOF-terminated NDJSON: one JSON document per line
+                    for raw in resp:
+                        line = raw.strip()
+                        if line:
+                            yield json.loads(line)
+                    return
+            finally:
+                conn.close()
+            attempt += 1
+            time.sleep(backoff_delay(attempt, self.backoff_base, rng,
+                                     floor=floor))
 
     @staticmethod
     def _body(source, name, options, sizes, audit) -> dict[str, Any]:

@@ -83,6 +83,9 @@ class ServerConfig:
     #: run the static soundness auditor on every analyze by default
     #: (requests can override per call)
     audit: bool = False
+    #: graceful-drain budget: seconds a SIGTERM/SIGINT drain waits for
+    #: in-flight requests before tearing the loop down anyway
+    drain_timeout_s: float = 10.0
 
 
 class RequestError(Exception):
@@ -173,7 +176,15 @@ class AnalysisService:
         #: response counts by HTTP status
         self.responses: dict[str, int] = {}
         #: admission gauges, mutated by the asyncio layer
-        self.admission: dict[str, int] = {"in_flight": 0, "rejected": 0}
+        self.admission: dict[str, int] = {
+            "in_flight": 0,
+            "rejected": 0,
+            "drained_rejects": 0,
+        }
+        #: set by PanoramaServer.drain(): health reports "draining" and
+        #: new analysis requests get 503 + Retry-After while in-flight
+        #: work completes (docs/robustness.md "Crash safety & resume")
+        self.draining = False
         self._watch_sessions: dict[str, _WatchSession] = {}
         self._watch_seq = itertools.count(1)
 
@@ -468,7 +479,7 @@ class AnalysisService:
 
     def health(self) -> dict[str, Any]:
         return {
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
             "version": __version__,
             "pid": os.getpid(),
             "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
@@ -490,6 +501,8 @@ class AnalysisService:
                 "max_inflight": self.config.max_inflight,
                 "in_flight": self.admission["in_flight"],
                 "rejected": self.admission["rejected"],
+                "drained_rejects": self.admission["drained_rejects"],
+                "draining": self.draining,
                 "retry_after_s": self.config.retry_after_s,
             },
             "requests": dict(self.requests),

@@ -11,6 +11,8 @@ and asserts the supervision contract of docs/robustness.md:
 * with no faults injected, verdicts are bit-identical to a plain run.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.dataflow import AnalysisOptions
@@ -239,3 +241,232 @@ class TestNoFaultControl:
         chaotic = make_engine().run([ITEM_A, ITEM_B])
         assert chaotic.ok
         assert chaotic.verdict_rows() == control
+
+
+class TestBackendFaults:
+    """The shared-tier fault sites: busy exhaustion, read/write I/O
+    errors, and corrupt rows must degrade the cache, never the verdicts."""
+
+    def test_persistent_busy_trips_breaker_campaign_stays_correct(
+        self, fault_env, tmp_path
+    ):
+        control = make_engine(jobs=1).run(
+            [ITEM_A, ITEM_B, ITEM_C]
+        ).verdict_rows()
+        inject(fault_env, "backend.busy")
+        engine = make_engine(
+            jobs=1, cache_dir=tmp_path / "c", cache_backend="shared"
+        )
+        report = engine.run([ITEM_A, ITEM_B, ITEM_C])
+        assert report.complete and report.ok
+        assert report.verdict_rows() == control  # degraded local-only
+        cache = report.telemetry.cache
+        assert cache.breaker_trips >= 1
+        assert cache.breaker_skipped >= 1
+
+    def test_backend_read_write_faults_recompute_not_crash(
+        self, fault_env, tmp_path
+    ):
+        cache_dir = tmp_path / "c"
+        warm = make_engine(jobs=1, cache_dir=cache_dir,
+                           cache_backend="shared")
+        baseline = warm.run([ITEM_C])
+        assert baseline.ok
+        inject(fault_env, "backend.read;backend.write")
+        engine = make_engine(jobs=1, cache_dir=cache_dir,
+                             cache_backend="shared")
+        report = engine.run([ITEM_C])
+        assert report.complete and report.ok
+        assert report.verdict_rows() == baseline.verdict_rows()
+        assert report.telemetry.cache.disk_errors >= 1
+
+    def test_corrupt_row_mid_campaign_quarantined(self, fault_env, tmp_path):
+        cache_dir = tmp_path / "c"
+        warm = make_engine(jobs=1, cache_dir=cache_dir,
+                           cache_backend="shared")
+        baseline = warm.run([ITEM_C])
+        assert baseline.telemetry.cache.stores >= 1
+        inject(fault_env, "cache.corrupt@1")
+        engine = make_engine(jobs=1, cache_dir=cache_dir,
+                             cache_backend="shared")
+        report = engine.run([ITEM_C])
+        assert report.complete and report.ok
+        assert report.verdict_rows() == baseline.verdict_rows()
+        assert report.telemetry.cache.quarantined >= 1
+
+
+class TestLedgerFault:
+    def test_torn_ledger_write_still_resumable(self, fault_env, tmp_path):
+        from repro.dataflow import AnalysisOptions as Opts
+        from repro.engine.ledger import (
+            LedgerWriter, replay, run_identity, verify_identity,
+        )
+
+        items = [ITEM_A, ITEM_B, ITEM_C]
+        ident = run_identity("batch", items, Opts())
+        path = tmp_path / "run.jsonl"
+        # tear the second done record mid-line: the writer wedges, the
+        # run itself must still complete and stay correct
+        inject(fault_env, "ledger.write:item@4")
+        with LedgerWriter(path, ident) as w:
+            report = make_engine(jobs=1, ledger=w).run(items)
+        assert report.complete and report.ok
+        rep = replay(path)
+        verify_identity(rep.header, ident)
+        assert rep.torn_lines == 1
+        assert len(rep.done) < len(items)  # progress was lost, not state
+        # resume serves the surviving records and recomputes the rest
+        fault_env.delenv(faults.ENV_VAR, raising=False)
+        faults.reset()
+        with LedgerWriter(path, ident, resume=True) as w:
+            resumed = make_engine(
+                jobs=1, ledger=w,
+                resume=rep,
+            ).run(items)
+        assert resumed.complete and resumed.ok
+        assert resumed.verdict_rows() == report.verdict_rows()
+        assert replay(path).ended == "complete"
+
+
+class TestCrashResume:
+    """Subprocess-level acceptance: hard kill and graceful drain both
+    leave a ledger that resumes to a bit-identical campaign scoreboard."""
+
+    SCOREBOARD = ("files", "errors", "loops", "parallel_loops", "verdicts")
+
+    @staticmethod
+    def campaign(tmp_path, *args, env_extra=None, count=30, seed=5,
+                 capture=True):
+        import os as _os
+        import subprocess
+        import sys as _sys
+
+        env = dict(_os.environ)
+        root = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = str(root / "src")
+        env.pop(faults.ENV_VAR, None)
+        if env_extra:
+            env.update(env_extra)
+        # capture=False for runs expected to die via os._exit: orphaned
+        # pool workers inherit the pipe fds and would stall EOF forever
+        io = dict(capture_output=True) if capture else dict(
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        return subprocess.run(
+            [_sys.executable, "-m", "repro.engine.campaign",
+             "--count", str(count), "--seed", str(seed), "--jobs", "2",
+             *args],
+            env=env, cwd=tmp_path, text=True, timeout=300, **io,
+        )
+
+    def scoreboard(self, path) -> dict:
+        import json
+
+        stats = json.loads(Path(path).read_text())
+        return {k: stats[k] for k in self.SCOREBOARD}
+
+    def test_hard_crash_then_resume_matches_uninterrupted(self, tmp_path):
+        ref = self.campaign(
+            tmp_path, "--cache-dir", str(tmp_path / "ref-cache"),
+            "--stats-json", str(tmp_path / "ref.json"),
+        )
+        assert ref.returncode == 0, ref.stderr
+
+        ledger = tmp_path / "run.jsonl"
+        crashed = self.campaign(
+            tmp_path, "--cache-dir", str(tmp_path / "cache"),
+            "--ledger", str(ledger),
+            "--stats-json", str(tmp_path / "crashed.json"),
+            env_extra={faults.ENV_VAR: "engine.crash@7"},
+            capture=False,
+        )
+        assert crashed.returncode == 86  # os._exit(86)
+        assert ledger.exists()
+
+        resumed = self.campaign(
+            tmp_path, "--cache-dir", str(tmp_path / "cache"),
+            "--resume", str(ledger),
+            "--stats-json", str(tmp_path / "resumed.json"),
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert self.scoreboard(tmp_path / "resumed.json") == self.scoreboard(
+            tmp_path / "ref.json"
+        )
+
+    def test_sigterm_drain_then_resume_matches_uninterrupted(self, tmp_path):
+        import json
+        import os as _os
+        import signal as _signal
+        import subprocess
+        import sys as _sys
+        import time as _time
+
+        count, seed = 400, 5
+        ref = self.campaign(
+            tmp_path, "--cache-dir", str(tmp_path / "ref-cache"),
+            "--stats-json", str(tmp_path / "ref.json"),
+            count=count, seed=seed,
+        )
+        assert ref.returncode == 0, ref.stderr
+
+        env = dict(_os.environ)
+        root = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = str(root / "src")
+        env.pop(faults.ENV_VAR, None)
+        ledger = tmp_path / "drain.jsonl"
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.engine.campaign",
+             "--count", str(count), "--seed", str(seed), "--jobs", "2",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--ledger", str(ledger),
+             "--stats-json", str(tmp_path / "drained.json")],
+            env=env, cwd=tmp_path,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            # wait until real progress is journaled, then pull the plug
+            deadline = _time.monotonic() + 120
+            while _time.monotonic() < deadline:
+                if ledger.exists() and ledger.read_text().count(
+                    '"state":"done"'
+                ) >= 4:
+                    break
+                if proc.poll() is not None:
+                    break
+                _time.sleep(0.05)
+            if proc.poll() is None:
+                proc.send_signal(_signal.SIGTERM)
+            stderr = proc.communicate(timeout=120)[1]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        if proc.returncode == 0:
+            # the campaign outran the signal: nothing was interrupted
+            return
+        assert proc.returncode == 5, stderr
+        assert "resume" in stderr
+
+        resumed = self.campaign(
+            tmp_path, "--cache-dir", str(tmp_path / "cache"),
+            "--resume", str(ledger),
+            "--stats-json", str(tmp_path / "resumed.json"),
+            count=count, seed=seed,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        resumed_stats = json.loads((tmp_path / "resumed.json").read_text())
+        assert resumed_stats["resilience"]["resumed_items"] >= 4
+        assert self.scoreboard(tmp_path / "resumed.json") == self.scoreboard(
+            tmp_path / "ref.json"
+        )
+
+    def test_resume_refuses_mismatched_identity(self, tmp_path):
+        ledger = tmp_path / "run.jsonl"
+        first = self.campaign(
+            tmp_path, "--ledger", str(ledger), count=4, seed=5,
+        )
+        assert first.returncode == 0, first.stderr
+        other = self.campaign(
+            tmp_path, "--resume", str(ledger), count=4, seed=6,
+        )
+        assert other.returncode == 2  # usage error: wrong run identity
+        assert "mismatch" in other.stderr

@@ -145,7 +145,8 @@ class TestConcurrency:
 
         service.analyze = blocking_analyze
         with ServerThread(service) as thread:
-            c = PanoramaClient(port=thread.port)
+            # retries=0: this test asserts on the raw 429 rejection
+            c = PanoramaClient(port=thread.port, retries=0)
             holder: dict = {}
 
             def occupy():
@@ -298,3 +299,131 @@ class TestIntrospection:
         assert stats["responses"].get("422", 0) >= 1
         assert stats["telemetry"]["files"] >= 1
         assert stats["summary_cache"]["stores"] > 0
+
+
+class TestGracefulDrain:
+    def test_drain_completes_in_flight_and_rejects_new(self):
+        """With max_inflight > 1 and both slots occupied, a drain must
+        deliver every in-flight verdict (zero dropped) while answering
+        new requests 503 + Retry-After, then report a clean drain."""
+        service = AnalysisService(
+            ServerConfig(max_inflight=2, drain_timeout_s=30.0)
+        )
+        release = threading.Event()
+        started = threading.Event()
+        real_analyze = service.analyze
+
+        def blocking_analyze(body, on_event=None):
+            # only the first request blocks: the analysis executor is
+            # single-threaded, the second stays queued (but in-flight)
+            started.set()
+            assert release.wait(timeout=30)
+            return real_analyze(body, on_event)
+
+        service.analyze = blocking_analyze
+        with ServerThread(service) as thread:
+            port = thread.port
+            holder: dict = {}
+
+            def occupy(slot: str):
+                c = PanoramaClient(port=port, retries=0)
+                holder[slot] = c.analyze(FIGURE_1A, name=f"{slot}.f")
+
+            workers = [
+                threading.Thread(target=occupy, args=(s,)) for s in ("a", "b")
+            ]
+            for t in workers:
+                t.start()
+            assert started.wait(timeout=30)
+            import time as _time
+
+            t0 = _time.monotonic()
+            while service.admission["in_flight"] < 2:  # both admitted
+                assert _time.monotonic() - t0 < 30.0
+                _time.sleep(0.01)
+
+            drained: dict = {}
+
+            def drain():
+                drained["clean"] = thread.drain()
+
+            drainer = threading.Thread(target=drain)
+            drainer.start()
+            # draining is visible before the in-flight work finishes
+            probe = PanoramaClient(port=port, retries=0)
+            t0 = _time.monotonic()
+            while not service.draining:
+                assert _time.monotonic() - t0 < 30.0
+                _time.sleep(0.01)
+            assert probe.health()["status"] == "draining"
+            with pytest.raises(ServiceError) as err:
+                probe.analyze(FIGURE_1A, name="late.f")
+            assert err.value.status == 503
+            assert err.value.kind == "draining"
+            assert err.value.retry_after is not None
+
+            release.set()
+            for t in workers:
+                t.join(timeout=60)
+            drainer.join(timeout=60)
+            assert drained["clean"] is True
+            # zero dropped verdicts: both occupied slots answered fully
+            expected = expected_rows(FIGURE_1A)
+            assert holder["a"]["loops"] == expected
+            assert holder["b"]["loops"] == expected
+            assert service.admission["drained_rejects"] >= 1
+            assert service.admission["in_flight"] == 0
+
+
+class TestClientRetries:
+    def test_client_rides_out_saturation(self):
+        """A retrying client sees one 429, sleeps per Retry-After, and
+        succeeds once the slot frees — no ServiceError surfaces."""
+        service = AnalysisService(
+            ServerConfig(max_inflight=1, retry_after_s=0.1)
+        )
+        release = threading.Event()
+        started = threading.Event()
+        real_analyze = service.analyze
+
+        def blocking_analyze(body, on_event=None):
+            if not started.is_set():
+                started.set()
+                assert release.wait(timeout=30)
+            return real_analyze(body, on_event)
+
+        service.analyze = blocking_analyze
+        with ServerThread(service) as thread:
+            port = thread.port
+            holder: dict = {}
+
+            def occupy():
+                c = PanoramaClient(port=port, retries=0)
+                holder["first"] = c.analyze(FIGURE_1A, name="slow.f")
+
+            t = threading.Thread(target=occupy)
+            t.start()
+            assert started.wait(timeout=30)
+
+            releaser = threading.Timer(0.3, release.set)
+            releaser.start()
+            try:
+                retrying = PanoramaClient(
+                    port=port, retries=8, backoff_base=0.05
+                )
+                payload = retrying.analyze(FIGURE_1A, name="patient.f")
+            finally:
+                release.set()
+                releaser.cancel()
+                t.join(timeout=60)
+            assert payload["loops"] == expected_rows(FIGURE_1A)
+            # admission really did bounce the patient client at least once
+            assert service.admission["rejected"] >= 1
+
+    def test_zero_retries_raises_immediately(self):
+        service = AnalysisService(ServerConfig(max_inflight=0))
+        with ServerThread(service) as thread:
+            c = PanoramaClient(port=thread.port, retries=0)
+            with pytest.raises(ServiceError) as err:
+                c.analyze(FIGURE_1A)
+            assert err.value.status == 429

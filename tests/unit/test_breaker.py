@@ -1,0 +1,134 @@
+"""Unit tests for the circuit breaker and the shared backoff helper
+(resilience/breaker.py, resilience/backoff.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience import CircuitBreaker, backoff_delay
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+def trip(breaker: CircuitBreaker) -> None:
+    """Drive a closed breaker to open with consecutive failures."""
+    for _ in range(breaker.failure_threshold):
+        assert breaker.allow()
+        breaker.record_failure()
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state == CLOSED
+        assert b.allow()
+        assert b.trips == b.recoveries == b.short_circuits == 0
+
+    def test_consecutive_failures_trip(self):
+        b = CircuitBreaker(failure_threshold=3)
+        assert not b.record_failure()
+        assert not b.record_failure()
+        assert b.record_failure()  # third consecutive failure trips
+        assert b.state == OPEN
+        assert b.trips == 1
+
+    def test_success_resets_the_streak(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()  # streak back to zero
+        assert not b.record_failure()
+        assert b.state == CLOSED
+
+    def test_open_short_circuits_until_probe(self):
+        b = CircuitBreaker(failure_threshold=1, probe_after=4, seed=0)
+        trip(b)
+        denied = 0
+        while not b.allow():
+            denied += 1
+            assert denied < 100, "probe window never opened"
+        # the allowed call is the half-open probe
+        assert b.state == HALF_OPEN
+        assert b.short_circuits == denied >= b.probe_after
+
+    def test_probe_success_recovers(self):
+        b = CircuitBreaker(failure_threshold=1, probe_after=2, seed=0)
+        trip(b)
+        while not b.allow():
+            pass
+        assert b.record_success()  # recovery signalled exactly once
+        assert b.state == CLOSED
+        assert b.recoveries == 1
+        assert b.allow()
+
+    def test_probe_failure_reopens(self):
+        b = CircuitBreaker(failure_threshold=1, probe_after=2, seed=0)
+        trip(b)
+        while not b.allow():
+            pass
+        assert b.record_failure()  # half-open failure is a fresh trip
+        assert b.state == OPEN
+        assert b.trips == 2
+        assert not b.allow()  # straight back to short-circuiting
+
+    def test_pending_probe_blocks_other_calls(self):
+        b = CircuitBreaker(failure_threshold=1, probe_after=1, seed=0)
+        trip(b)
+        while not b.allow():
+            pass
+        assert b.state == HALF_OPEN
+        # outcome not yet reported: everyone else stays short-circuited
+        assert not b.allow()
+        assert not b.allow()
+
+    def test_seeded_probe_schedule_is_reproducible(self):
+        def schedule(seed: int) -> list[int]:
+            b = CircuitBreaker(failure_threshold=1, probe_after=8, seed=seed)
+            trip(b)
+            out = []
+            for _ in range(3):
+                denied = 0
+                while not b.allow():
+                    denied += 1
+                out.append(denied)
+                b.record_failure()  # probe fails: reopen, fresh jitter
+            return out
+
+        assert schedule(7) == schedule(7)
+
+    def test_as_dict_mirrors_counters(self):
+        b = CircuitBreaker(failure_threshold=1)
+        trip(b)
+        d = b.as_dict()
+        assert d == {
+            "state": OPEN,
+            "trips": 1,
+            "recoveries": 0,
+            "short_circuits": 0,
+        }
+
+
+class TestBackoffDelay:
+    def test_matches_engine_formula(self):
+        # the batch engine's historical inline formula, verbatim
+        rng_a = random.Random(42)
+        rng_b = random.Random(42)
+        for attempt in (1, 2, 3, 4):
+            expected = 0.1 * 2 ** (attempt - 1) + rng_a.uniform(0.0, 0.1)
+            assert backoff_delay(attempt, 0.1, rng_b) == expected
+
+    def test_floor_wins_when_larger(self):
+        rng = random.Random(0)
+        assert backoff_delay(1, 0.01, rng, floor=5.0) == 5.0
+
+    def test_attempt_zero_treated_as_first(self):
+        assert backoff_delay(0, 0.1, random.Random(1)) == backoff_delay(
+            1, 0.1, random.Random(1)
+        )
+
+    def test_grows_exponentially(self):
+        rng = random.Random(3)
+        d1 = backoff_delay(1, 0.5, rng)
+        d4 = backoff_delay(4, 0.5, rng)
+        assert d4 > d1
+        assert d4 >= 0.5 * 8  # base * 2**(4-1)

@@ -255,3 +255,149 @@ class TestConcurrentWriters:
             got = backend.get(f"{i:064x}")
             assert got is not None and got.routine == f"r{i}"
         assert backend.quarantined_rows() == []
+
+
+# --------------------------------------------------------------------------- #
+# quarantine growth cap
+# --------------------------------------------------------------------------- #
+
+
+def corrupt_disk_entry(backend: DiskBackend, i: int) -> None:
+    path = backend.path(fp(i))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"not a cache container")
+
+
+class TestQuarantineCap:
+    def test_disk_quarantine_evicts_oldest_beyond_cap(self, tmp_path):
+        from repro.resilience import CircuitBreaker
+
+        backend = DiskBackend(
+            tmp_path,
+            quarantine_cap=3,
+            # a lenient breaker: this test is about the cap, and six
+            # consecutive corrupt reads would trip the default breaker
+            breaker=CircuitBreaker(failure_threshold=1000),
+        )
+        for i in range(6):
+            corrupt_disk_entry(backend, i)
+            assert backend.get(fp(i)) is None
+        qdir = tmp_path / "quarantine"
+        kept = [p for p in qdir.iterdir() if p.is_file()]
+        assert len(kept) == 3
+        assert backend.stats.quarantined == 6
+        assert backend.stats.quarantine_evicted == 3
+
+    def test_shared_quarantine_table_capped(self, tmp_path):
+        from repro.resilience import CircuitBreaker
+
+        backend = SharedSQLiteBackend(
+            tmp_path,
+            quarantine_cap=2,
+            breaker=CircuitBreaker(failure_threshold=1000),
+        )
+        conn = backend._connection()
+        for i in range(5):
+            conn.execute(
+                "INSERT INTO summaries (fingerprint, digest, payload,"
+                " stored_at) VALUES (?, zeroblob(32), ?, 0)",
+                (fp(i), b"garbage"),
+            )
+            assert backend.get(fp(i)) is None  # verification fails
+        assert len(backend.quarantined_rows()) == 2
+        assert backend.stats.quarantined == 5
+        assert backend.stats.quarantine_evicted == 3
+        # newest evidence survives, oldest was dropped
+        kept = {row[0] for row in backend.quarantined_rows()}
+        assert kept == {fp(3), fp(4)}
+
+
+# --------------------------------------------------------------------------- #
+# circuit breaker integration
+# --------------------------------------------------------------------------- #
+
+
+class TestBackendBreaker:
+    @pytest.fixture(autouse=True)
+    def clean_faults(self, monkeypatch):
+        from repro.resilience import faults
+
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.reset()
+        yield monkeypatch
+        faults.reset()
+
+    def test_persistent_busy_trips_then_short_circuits(
+        self, clean_faults, tmp_path
+    ):
+        from repro.resilience import CircuitBreaker, faults
+
+        clean_faults.setenv(faults.ENV_VAR, "backend.busy")
+        faults.reset()
+        backend = SharedSQLiteBackend(
+            tmp_path,
+            max_retries=1,
+            retry_sleep_s=0.0,
+            breaker=CircuitBreaker(failure_threshold=3, probe_after=4, seed=0),
+        )
+        for _ in range(3):  # three busy-exhausted ops trip the breaker
+            assert backend.contains(fp(1)) is False
+        assert backend.stats.breaker_trips == 1
+        before = backend.stats.disk_errors
+        backend.contains(fp(1))  # short-circuited: no retry ladder runs
+        assert backend.stats.breaker_skipped == 1
+        assert backend.stats.disk_errors == before
+
+    def test_probe_recovery_reenables_shared_tier(
+        self, clean_faults, tmp_path
+    ):
+        from repro.resilience import CircuitBreaker, faults
+
+        # exactly three busy faults, then the database is healthy again
+        clean_faults.setenv(
+            faults.ENV_VAR,
+            "backend.busy@1;backend.busy@2;backend.busy@3",
+        )
+        faults.reset()
+        backend = SharedSQLiteBackend(
+            tmp_path,
+            max_retries=1,
+            retry_sleep_s=0.0,
+            breaker=CircuitBreaker(failure_threshold=3, probe_after=2, seed=0),
+        )
+        backend.put(entry(7))  # dropped: ops 1..3 fail and trip
+        backend.put(entry(7))
+        backend.put(entry(7))
+        assert backend.stats.breaker_trips == 1
+        # short-circuit window, then the half-open probe succeeds
+        got = None
+        for _ in range(20):
+            got = backend.get(fp(7))
+            if backend.stats.breaker_recoveries:
+                break
+        assert backend.stats.breaker_recoveries == 1
+        assert backend.stats.breaker_skipped >= 1
+        # recovered for real: a store now lands durably
+        backend.put(entry(8))
+        assert backend.get(fp(8)) is not None
+
+    def test_read_write_fault_sites_degrade_not_raise(
+        self, clean_faults, tmp_path
+    ):
+        from repro.resilience import faults
+
+        backend = SharedSQLiteBackend(tmp_path)
+        backend.put(entry(1))
+        clean_faults.setenv(
+            faults.ENV_VAR, f"backend.read:{fp(1)[:12]}@1"
+        )
+        faults.reset()
+        assert backend.get(fp(1)) is None  # injected read error = miss
+        assert backend.stats.disk_errors >= 1
+        assert backend.get(fp(1)) is not None  # next read is healthy
+
+        clean_faults.setenv(faults.ENV_VAR, f"backend.write:{fp(2)[:12]}")
+        faults.reset()
+        backend.put(entry(2))  # dropped store, no exception
+        assert backend.get(fp(2)) is None
+        assert backend.entry_count() == 1

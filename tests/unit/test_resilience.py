@@ -183,3 +183,24 @@ class TestClassifyException:
         assert classify_exception(MemoryError()) == "oom"
         assert classify_exception(RuntimeError("bug")) == "internal"
         assert classify_exception(ValueError("bug")) == "internal"
+
+    def test_exit_code_table(self):
+        """The CLI-wide exit taxonomy (docs/robustness.md), pinned: these
+        values are contract with CI scripts and fleet supervisors."""
+        from repro import errors
+
+        assert errors.EXIT_OK == 0
+        assert errors.EXIT_HARD_FAILURE == 1
+        assert errors.EXIT_USAGE == 2
+        assert errors.EXIT_DEGRADED == 3
+        assert errors.EXIT_AUDIT_FAILED == 4
+        assert errors.EXIT_INTERRUPTED == 5
+        codes = [
+            errors.EXIT_OK,
+            errors.EXIT_HARD_FAILURE,
+            errors.EXIT_USAGE,
+            errors.EXIT_DEGRADED,
+            errors.EXIT_AUDIT_FAILED,
+            errors.EXIT_INTERRUPTED,
+        ]
+        assert codes == sorted(set(codes))  # distinct, stable ordering
