@@ -59,7 +59,9 @@ KIND_CODES = {
     "undecided": "PAN102",
     "guarded": "PAN103",
     "skipped": "PAN104",
+    "evidence-replay": "PAN105",
     "oracle-conflict": "PAN302",
+    "evidence-unsupported": "PAN305",
 }
 
 
@@ -92,9 +94,17 @@ class AuditFinding:
                 f"on {self.variable}"
             ),
             "skipped": f"loop {self.loop} skipped by the audit",
+            "evidence-replay": (
+                f"loop {self.loop}: frontier evidence on {self.variable} "
+                f"does not replay from the source"
+            ),
             "oracle-conflict": (
                 f"loop {self.loop}: dependence tests contradict each other "
                 f"on {self.variable}"
+            ),
+            "evidence-unsupported": (
+                f"loop {self.loop}: evidence record on {self.variable} has "
+                f"a kind the auditor cannot replay"
             ),
         }[self.kind]
         parts = [head]
@@ -166,6 +176,8 @@ class AuditReport:
             "guarded": by_kind["guarded"],
             "undecided": by_kind["undecided"],
             "skipped": by_kind["skipped"],
+            "evidence_replay": by_kind["evidence-replay"],
+            "evidence_unsupported": by_kind["evidence-unsupported"],
             "oracle_conflicts": by_kind["oracle-conflict"],
             "lint": len(self.lint),
             "sanitizer": len(self.sanitizer),
@@ -393,6 +405,10 @@ def _excluded_variables(report: LoopReport) -> set[str]:
         set(verdict.privatized)
         | set(verdict.reductions)
         | set(verdict.inductions)
+        # scan variables: the carried flow dependence is real but the
+        # two-pass schedule honors it; its *evidence* is replayed
+        # separately (PAN105) instead of being re-proved here
+        | set(verdict.scans)
     )
 
 
@@ -522,6 +538,92 @@ def audit_loop(
 
 
 # --------------------------------------------------------------------------- #
+# frontier evidence replay
+# --------------------------------------------------------------------------- #
+
+
+def _replay_evidence(
+    result: CompilationResult,
+    loop_report: LoopReport,
+    node: LoopNode,
+    fact_cache: dict[str, list],
+) -> list[AuditFinding]:
+    """Independently re-derive every evidence record behind a verdict.
+
+    Content facts are re-inferred from the unit source, recurrence
+    decompositions re-recognized from the loop body; a record nothing
+    re-derives is ``PAN105`` (evidence-replay), a record of unknown kind
+    ``PAN305`` (evidence-unsupported).  A scan verdict carrying no
+    recurrence record at all is also ``PAN105`` — the schedule has
+    nothing to stand on.
+    """
+    from ..parallelize.classifier import LoopStatus
+    from ..parallelize.recurrences import find_recurrences
+
+    findings: list[AuditFinding] = []
+    loop_id = loop_report.loop_id()
+
+    def note(kind: str, variable: str, detail: str) -> None:
+        findings.append(
+            AuditFinding(
+                kind=kind,
+                loop=loop_id,
+                routine=loop_report.routine,
+                lineno=loop_report.lineno,
+                variable=variable,
+                detail=detail,
+            )
+        )
+
+    matches = None  # lazy: only recognized when a record needs it
+    for payload in loop_report.evidence:
+        kind = payload.get("kind")
+        if kind == "content":
+            unit = payload.get("unit", loop_report.routine)
+            if unit not in fact_cache:
+                from ..contents import infer_unit
+
+                fact_cache[unit] = infer_unit(
+                    result.analyzed, unit, result.analyzer.options
+                )
+            if not any(
+                f.matches_payload(payload) for f in fact_cache[unit]
+            ):
+                note(
+                    "evidence-replay",
+                    payload.get("array", "?"),
+                    f"content fact {payload.get('fact')} on "
+                    f"{payload.get('array')} not re-derivable from {unit}",
+                )
+        elif kind == "recurrence":
+            if matches is None:
+                matches = find_recurrences(node)
+            if not any(m.matches_payload(payload) for m in matches):
+                note(
+                    "evidence-replay",
+                    payload.get("variable", "?"),
+                    f"recurrence {payload.get('shape')} on "
+                    f"{payload.get('variable')} not re-recognizable",
+                )
+        else:
+            note(
+                "evidence-unsupported",
+                str(payload.get("variable") or payload.get("array") or "?"),
+                f"unknown evidence kind {kind!r}",
+            )
+
+    if loop_report.status is LoopStatus.PARALLEL_SCAN and not any(
+        p.get("kind") == "recurrence" for p in loop_report.evidence
+    ):
+        note(
+            "evidence-replay",
+            loop_report.var,
+            "scan verdict carries no recurrence evidence",
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------- #
 # whole-compilation audit
 # --------------------------------------------------------------------------- #
 
@@ -534,6 +636,7 @@ def audit_compilation(
 ) -> AuditReport:
     """Audit every parallel-reported loop of one compilation result."""
     report = AuditReport(name=name, source=source)
+    fact_cache: dict[str, list] = {}
     loops = list(result.hsg.all_loops())
     # the pipeline appends reports in hsg.all_loops() order; pair them up
     # defensively by identity fields rather than trusting the zip blindly
@@ -570,6 +673,9 @@ def audit_compilation(
         )
         report.findings.extend(findings)
         report.pairs_checked += pairs
+        report.findings.extend(
+            _replay_evidence(result, loop_report, node, fact_cache)
+        )
 
     if run_lint:
         from .lint import lint_program

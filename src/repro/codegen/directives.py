@@ -28,6 +28,7 @@ from ..fortran.ast_nodes import DoLoop, ProgramUnit, Stmt
 from ..fortran.printers import unparse_stmt
 from ..hsg.cfg import FlowGraph
 from ..hsg.nodes import BasicBlockNode, IfConditionNode, LoopNode
+from ..parallelize import LoopStatus
 
 
 @dataclass(frozen=True)
@@ -155,6 +156,25 @@ def directive_lines(clauses: DirectiveClauses, style: str) -> list[str]:
     raise ValueError(f"unknown directive style {style!r}")
 
 
+def scan_directive_lines(report: LoopReport) -> list[str]:
+    """The scan-schedule hint for a PARALLEL_SCAN loop.
+
+    A scan is *not* a plain parallel DO — running it under DOACROSS/OMP
+    PARALLEL DO would race on the carried chain — so the hint names the
+    recurrence and the two-pass schedule instead, as a comment directive
+    a scan-aware backend (or a human) can act on.
+    """
+    matches = report.verdict.scan_matches if report.verdict else []
+    if not matches:
+        return ["C$PAR SCAN SCHEDULE(TWO-PASS)"]
+    inner = ", ".join(
+        f"{m.name.upper()}: {m.shape.replace('_', '-')} over {m.operator}"
+        f" distance {m.distance}"
+        for m in matches
+    )
+    return [f"C$PAR SCAN({inner}) SCHEDULE(TWO-PASS)"]
+
+
 def annotate(result: CompilationResult, style: str = "omp") -> str:
     """Regenerate the program with parallelization directives.
 
@@ -210,12 +230,22 @@ def _emit_block(
     for stmt in stmts:
         if isinstance(stmt, DoLoop):
             report = by_location.get((routine, stmt.lineno, stmt.var))
-            annotate_this = (
-                report is not None and report.parallel and not inside_parallel
+            scan_this = (
+                report is not None
+                and report.status is LoopStatus.PARALLEL_SCAN
+                and not inside_parallel
             )
-            if annotate_this:
-                clauses = clauses_for(report, result)
+            annotate_this = (
+                report is not None
+                and report.parallel
+                and not scan_this
+                and not inside_parallel
+            )
+            if scan_this:
                 # directives are comments: column 1, never indented
+                out.extend(scan_directive_lines(report))
+            elif annotate_this:
+                clauses = clauses_for(report, result)
                 out.extend(directive_lines(clauses, style))
             step = f", {stmt.step}" if stmt.step is not None else ""
             label = f"{stmt.label} " if stmt.label is not None else ""
@@ -230,7 +260,7 @@ def _emit_block(
                     by_location,
                     style,
                     indent + 1,
-                    inside_parallel or annotate_this,
+                    inside_parallel or annotate_this or scan_this,
                 )
             )
             out.append(f"{pad}ENDDO")

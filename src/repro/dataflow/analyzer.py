@@ -56,6 +56,12 @@ class SummaryAnalyzer:
         #: external caches consulted before computing (None → always compute)
         self.summary_provider: Optional[SummaryProvider] = None
         self.loop_record_provider: Optional[LoopRecordProvider] = None
+        #: content-domain facts (repro.contents.ContentFacts) installed by
+        #: the frontier pass; per-unit derived index-array forms and guard
+        #: bounds are merged into every conversion context.  Facts are a
+        #: pure function of each unit's own source + options, so summary
+        #: fingerprints stay valid (docs/frontier.md)
+        self.content_facts = None
         #: routines/loops served by a provider rather than computed here
         self.provided_summaries: set[str] = set()
         self.provided_loop_records: set[LoopKey] = set()
@@ -64,11 +70,19 @@ class SummaryAnalyzer:
 
     def context_for(self, unit_name: str) -> ConversionContext:
         """A fresh conversion context for one routine."""
+        forms = dict(self.options.index_array_forms)
+        bounds = {}
+        if self.content_facts is not None:
+            # hand-supplied forms take precedence over derived ones
+            for name, form in self.content_facts.forms_for(unit_name).items():
+                forms.setdefault(name, form)
+            bounds = self.content_facts.bounds_for(unit_name)
         return ConversionContext(
             table=self.hsg.analyzed.table(unit_name),
             symbolic=self.options.symbolic,
             if_conditions=self.options.if_conditions,
-            index_array_forms=dict(self.options.index_array_forms),
+            index_array_forms=forms,
+            content_bounds=bounds,
         )
 
     # -- cached computations ----------------------------------------------------------

@@ -16,6 +16,7 @@ paper's Table 1:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from typing import Optional, Tuple
@@ -25,6 +26,11 @@ from ..resilience.budget import AnalysisBudget
 from ..symbolic import Comparer, SymExpr
 
 
+def _default_frontier() -> bool:
+    """Frontier pass default: on, unless PANORAMA_NO_FRONTIER is set."""
+    return os.environ.get("PANORAMA_NO_FRONTIER", "") in ("", "0")
+
+
 @dataclass(frozen=True)
 class AnalysisOptions:
     symbolic: bool = True  # T1
@@ -32,6 +38,9 @@ class AnalysisOptions:
     interprocedural: bool = True  # T3
     #: use the Fourier-Motzkin fallback prover (stronger simplifier)
     use_fm: bool = True
+    #: frontier pass: array-content domain + recurrence/scan recognizer
+    #: (docs/frontier.md); off reproduces pre-frontier verdicts exactly
+    frontier: bool = field(default_factory=_default_frontier)
     #: closed forms for subscript arrays (paper section 6): pairs of
     #: (array name, expression over convert.subscript_placeholder)
     index_array_forms: Tuple[Tuple[str, SymExpr], ...] = ()
@@ -115,6 +124,12 @@ class AnalysisStats:
     #: budget-exhaustion fallbacks taken (loops/calls degraded to the
     #: conservative whole-array summary)
     budget_degradations: int = 0
+    #: frontier pass (docs/frontier.md): content-domain facts inferred,
+    #: recurrence/scan matches recognized, and loops whose verdict is
+    #: backed by frontier evidence records
+    content_facts: int = 0
+    recurrence_matches: int = 0
+    frontier_upgrades: int = 0
     #: symbolic-kernel counter/cache deltas attributed to this compile
     #: (flat ``repro.perf`` snapshot keys → numbers); filled by the
     #: pipeline driver so ``panorama --json`` can expose them

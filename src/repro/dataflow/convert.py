@@ -74,6 +74,13 @@ class ConversionContext:
     #: closed forms for subscript arrays (paper section 6), keyed by
     #: array name; expressions over :func:`subscript_placeholder`
     index_array_forms: dict[str, SymExpr] = field(default_factory=dict)
+    #: element-value bounds for arrays proven by the content domain
+    #: (docs/frontier.md): array name → inclusive (lo, hi) over every
+    #: read the routine performs — lets :func:`to_predicate` discharge
+    #: guards like ``F(J) .GE. 1`` without a closed form
+    content_bounds: dict[str, tuple[Fraction, Fraction]] = field(
+        default_factory=dict
+    )
 
     def with_index(self, name: str) -> "ConversionContext":
         """The context with one more active loop index."""
@@ -88,6 +95,7 @@ class ConversionContext:
             self.active_indices | {name},
             bindings,
             self.index_array_forms,
+            self.content_bounds,
         )
 
     def fresh_opaque(self, hint: str = "v") -> SymExpr:
@@ -245,6 +253,54 @@ def _numeric_side(expr: Expr, ctx: ConversionContext) -> Optional[SymExpr]:
     return None
 
 
+def _bounds_discharge(expr: BinOp, ctx: ConversionContext) -> Optional[bool]:
+    """Decide ``A(e) REL c`` from a content-domain element-bound fact.
+
+    The content domain (docs/frontier.md) only installs ``(lo, hi)``
+    bounds for arrays whose every read in the routine is proven to hit
+    the segment the fact covers, so the relation can be decided whenever
+    the bound interval lies entirely on one side of the constant.
+    Returns ``None`` when the guard is not of this shape or the bounds
+    are inconclusive.
+    """
+
+    def array_bounds(e: Expr) -> Optional[tuple[Fraction, Fraction]]:
+        if isinstance(e, Apply) and e.is_array:
+            return ctx.content_bounds.get(e.name)
+        return None
+
+    def const_of(e: Expr) -> Optional[Fraction]:
+        sym = _numeric_side(e, ctx)
+        return None if sym is None else sym.constant_value()
+
+    bounds, const, op = array_bounds(expr.left), const_of(expr.right), expr.op
+    if bounds is None:
+        bounds, const = array_bounds(expr.right), const_of(expr.left)
+        # mirror the relation so the array is always on the left
+        op = {".lt.": ".gt.", ".gt.": ".lt.", ".le.": ".ge.",
+              ".ge.": ".le.", ".eq.": ".eq.", ".ne.": ".ne."}[op]
+    if bounds is None or const is None:
+        return None
+    lo, hi = bounds
+    if op == ".lt.":
+        return True if hi < const else (False if lo >= const else None)
+    if op == ".le.":
+        return True if hi <= const else (False if lo > const else None)
+    if op == ".gt.":
+        return True if lo > const else (False if hi <= const else None)
+    if op == ".ge.":
+        return True if lo >= const else (False if hi < const else None)
+    if op == ".eq.":
+        return True if lo == hi == const else (
+            False if const < lo or const > hi else None
+        )
+    if op == ".ne.":
+        return False if lo == hi == const else (
+            True if const < lo or const > hi else None
+        )
+    return None
+
+
 def to_predicate(expr: Expr, ctx: ConversionContext) -> Predicate:
     """Guard predicate of an IF condition; Δ when unsupported (or T2 off)."""
     if not ctx.if_conditions:
@@ -275,6 +331,9 @@ def to_predicate(expr: Expr, ctx: ConversionContext) -> Predicate:
             left = _numeric_side(expr.left, ctx)
             right = _numeric_side(expr.right, ctx)
             if left is None or right is None:
+                bounded = _bounds_discharge(expr, ctx)
+                if bounded is not None:
+                    return Predicate.true() if bounded else Predicate.false()
                 return Predicate.unknown()
             rel = {
                 ".eq.": Relation.eq,

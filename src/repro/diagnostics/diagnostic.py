@@ -85,6 +85,13 @@ RULES: dict[str, Rule] = {
             "verdict)",
             Severity.NOTE,
         ),
+        Rule(
+            "PAN105",
+            "audit/evidence-replay",
+            "A frontier evidence record behind a parallel verdict could "
+            "not be independently re-derived from the source",
+            Severity.ERROR,
+        ),
         # -- PAN2xx: front-end lint (src/repro/audit/lint) ----------------
         Rule(
             "PAN201",
@@ -120,6 +127,13 @@ RULES: dict[str, Rule] = {
             "internal/oracle-conflict",
             "Two dependence tests proved contradictory verdicts for the "
             "same reference pair",
+            Severity.ERROR,
+        ),
+        Rule(
+            "PAN305",
+            "internal/evidence-unsupported",
+            "An evidence record has a kind the auditor does not know how "
+            "to replay",
             Severity.ERROR,
         ),
     )

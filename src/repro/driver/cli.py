@@ -42,6 +42,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable the Fourier-Motzkin fallback prover",
     )
     parser.add_argument(
+        "--no-frontier",
+        action="store_true",
+        help="disable the frontier pass (array-content facts and "
+        "scan/recurrence recognition; docs/frontier.md); also settable "
+        "via PANORAMA_NO_FRONTIER=1",
+    )
+    parser.add_argument(
         "--summaries",
         action="store_true",
         help="print MOD/UE loop summaries for every analyzed loop",
@@ -124,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         source = Path(args.source).read_text()
 
+    extra = {"frontier": False} if args.no_frontier else {}
     options = AnalysisOptions(
         symbolic="T1" not in args.ablate,
         if_conditions="T2" not in args.ablate,
@@ -131,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         use_fm=not args.no_fm,
         budget_ms=args.budget_ms,
         budget_steps=args.budget_steps,
+        **extra,
     )
     if args.profile:
         profiler.enable()

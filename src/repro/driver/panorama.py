@@ -50,6 +50,13 @@ class LoopReport:
     #: non-None when the verdict is a budget-exhaustion degradation:
     #: "budget" | "deadline" | "steps"
     degraded: Optional[str] = None
+    #: machine-checkable evidence records (content facts consumed by the
+    #: loop, recurrence decompositions) behind a frontier-assisted
+    #: verdict — replayed by the static auditor (docs/frontier.md)
+    evidence: list[dict] = field(default_factory=list)
+    #: execution-schedule hint for codegen/cost model (None = plain
+    #: parallel DO; "two-pass-scan" = chunk partials + prefix combine)
+    schedule: Optional[str] = None
 
     @property
     def parallel(self) -> bool:
@@ -113,6 +120,46 @@ class CompilationResult:
             f"{par}/{len(self.loops)} loops parallel "
             f"({self.timings.total * 1000:.1f} ms analysis)"
         )
+
+
+def _index_context_arrays(loop: LoopNode) -> set[str]:
+    """Names used where content facts bite: subscripts of other array
+    references, IF guards, and inner loop headers."""
+    from ..fortran.ast_nodes import Apply, NameRef
+    from ..hsg.nodes import BasicBlockNode, IfConditionNode
+    from ..hsg.nodes import LoopNode as _LoopNode
+
+    used: set[str] = set()
+
+    def names_of(expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, (NameRef, Apply)):
+                used.add(node.name)
+
+    def exprs_of(graph) -> None:
+        for node in graph.nodes:
+            if isinstance(node, BasicBlockNode):
+                for stmt in node.stmts:
+                    for expr in getattr(stmt, "target", None), getattr(
+                        stmt, "value", None
+                    ):
+                        if expr is None:
+                            continue
+                        for sub in expr.walk():
+                            if isinstance(sub, Apply):
+                                for arg in sub.args:
+                                    names_of(arg)
+            elif isinstance(node, IfConditionNode):
+                names_of(node.cond)
+            elif isinstance(node, _LoopNode):
+                names_of(node.start)
+                names_of(node.stop)
+                if node.step is not None:
+                    names_of(node.step)
+                exprs_of(node.body)
+
+    exprs_of(loop.body)
+    return used
 
 
 class PipelineHooks:
@@ -207,6 +254,12 @@ class Panorama:
         timings.frontend = time.perf_counter() - t0
 
         analyzer = SummaryAnalyzer(hsg, self.options)
+        if self.options.frontier and self.options.symbolic:
+            from ..contents import infer_program
+
+            facts = infer_program(analyzed, self.options)
+            facts.install(analyzer)
+            analyzer.stats.content_facts += facts.count()
         if self.hooks is not None:
             self.hooks.attach(analyzer, hsg)
         result = CompilationResult(program, analyzed, hsg, analyzer, timings=timings)
@@ -261,7 +314,7 @@ class Panorama:
             screen.verdict is ScreenVerdict.INDEPENDENT
             and not loop.has_premature_exit
         ):
-            return LoopReport(
+            report = LoopReport(
                 routine=unit_name,
                 var=loop.var,
                 source_label=loop.source_label,
@@ -271,6 +324,8 @@ class Panorama:
                 status=LoopStatus.PARALLEL,
                 used_dataflow=False,
             )
+            self._attach_evidence(analyzer, unit_name, loop, report)
+            return report
         t0 = time.perf_counter()
         try:
             verdict = classify_loop(analyzer, unit_name, loop)
@@ -295,7 +350,7 @@ class Panorama:
                 analyzer, unit_name, loop, exc, screen=screen
             )
         timings.dataflow += time.perf_counter() - t0
-        return LoopReport(
+        report = LoopReport(
             routine=unit_name,
             var=loop.var,
             source_label=loop.source_label,
@@ -307,6 +362,38 @@ class Panorama:
             copy_out=copy_out,
             degraded=verdict.record.degraded if verdict.record else None,
         )
+        if verdict.status is LoopStatus.PARALLEL_SCAN:
+            report.schedule = "two-pass-scan"
+        self._attach_evidence(analyzer, unit_name, loop, report)
+        return report
+
+    def _attach_evidence(
+        self,
+        analyzer: SummaryAnalyzer,
+        unit_name: str,
+        loop: LoopNode,
+        report: LoopReport,
+    ) -> None:
+        """Attach frontier evidence records to a parallel loop's report.
+
+        Evidence is the content facts the loop plausibly consumed (its
+        body mentions the fact array in a subscript, a guard, or an
+        inner loop header) plus the recurrence decompositions behind a
+        scan verdict.  ``frontier_upgrades`` counts parallel verdicts
+        resting on at least one such record.
+        """
+        if not self.options.frontier or not report.parallel:
+            return
+        if report.verdict is not None:
+            report.evidence.extend(
+                m.to_payload() for m in report.verdict.scan_matches
+            )
+        facts = analyzer.content_facts
+        if facts is not None:
+            used = _index_context_arrays(loop)
+            report.evidence.extend(facts.evidence_for(unit_name, used))
+        if report.evidence:
+            analyzer.stats.frontier_upgrades += 1
 
     def _degraded_report(
         self,
@@ -344,5 +431,7 @@ class Panorama:
                 continue
             report.cost = lc
             report.pct_sequential = cost.percent_of_sequential(lc)
-            if report.parallel:
+            if report.status is LoopStatus.PARALLEL_SCAN:
+                report.speedup = self.machine.scan_speedup(lc)
+            elif report.parallel:
                 report.speedup = self.machine.loop_speedup(lc)

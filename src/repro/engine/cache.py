@@ -46,8 +46,11 @@ from .backends import CacheBackend, DiskBackend, make_backend
 #: their interning constructors — v1 pickles carried raw slot state;
 #: v3: disk entries are a checksummed container — magic, SHA-256 of the
 #: payload, then the payload pickle — so torn/corrupt files are detected
-#: before unpickling and quarantined instead of trusted)
-CACHE_FORMAT_VERSION = 3
+#: before unpickling and quarantined instead of trusted;
+#: v4: the frontier pass (content facts + scan recognition) changes
+#: summaries through derived index-array forms, and its toggle joined
+#: options_key — stale v3 verdicts must not be served either way)
+CACHE_FORMAT_VERSION = 4
 
 #: on-disk container magic; the digest that follows covers the payload
 DISK_MAGIC = b"PANC\x03\n"
@@ -68,7 +71,8 @@ def options_key(options: AnalysisOptions) -> str:
     )
     return (
         f"T1={options.symbolic}|T2={options.if_conditions}"
-        f"|T3={options.interprocedural}|FM={options.use_fm}|IA={forms}"
+        f"|T3={options.interprocedural}|FM={options.use_fm}"
+        f"|FR={options.frontier}|IA={forms}"
         # budgets change results (exhaustion degrades summaries), so a
         # budgeted run must never share fingerprints with an unlimited one
         f"|Bms={options.budget_ms}|Bst={options.budget_steps}"

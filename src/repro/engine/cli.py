@@ -95,6 +95,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable the Fourier-Motzkin fallback prover",
     )
     parser.add_argument(
+        "--no-frontier",
+        action="store_true",
+        help="disable the frontier pass (array-content facts and "
+        "scan/recurrence recognition; docs/frontier.md)",
+    )
+    parser.add_argument(
         "--no-machine",
         action="store_true",
         help="skip cost/speedup estimation",
@@ -269,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[ENV_VAR] = args.inject_faults
         faults.reset()
 
+    extra = {"frontier": False} if args.no_frontier else {}
     options = AnalysisOptions(
         symbolic="T1" not in args.ablate,
         if_conditions="T2" not in args.ablate,
@@ -276,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         use_fm=not args.no_fm,
         budget_ms=args.budget_ms,
         budget_steps=args.budget_steps,
+        **extra,
     )
     run_audit = bool(args.audit or args.sarif or args.strict_audit)
     identity = ledger_mod.run_identity(

@@ -53,7 +53,10 @@ def loop_report_row(report: LoopReport) -> dict[str, Any]:
         "privatized": list(verdict.privatized) if verdict else [],
         "reductions": list(verdict.reductions) if verdict else [],
         "inductions": list(verdict.inductions) if verdict else [],
+        "scans": list(verdict.scans) if verdict else [],
         "serial_reasons": list(verdict.serial_reasons) if verdict else [],
+        "schedule": report.schedule,
+        "evidence": [dict(e) for e in report.evidence],
         # the privatizer's offending intersections for candidates that
         # failed the MOD_<i ∩ UE_i test (empty when nothing failed)
         "conflicts": verdict.conflicts() if verdict else {},
@@ -88,6 +91,9 @@ def analysis_stats_dict(stats: AnalysisStats) -> dict[str, int]:
         "routines_summarized": stats.routines_summarized,
         "peak_gar_list": stats.peak_gar_list,
         "budget_degradations": stats.budget_degradations,
+        "content_facts": stats.content_facts,
+        "recurrence_matches": stats.recurrence_matches,
+        "frontier_upgrades": stats.frontier_upgrades,
     }
 
 
@@ -150,6 +156,9 @@ class EngineTelemetry:
             "routines_summarized": 0,
             "peak_gar_list": 0,
             "budget_degradations": 0,
+            "content_facts": 0,
+            "recurrence_matches": 0,
+            "frontier_upgrades": 0,
         }
     )
     #: resilience counters (batch-engine supervision, section
@@ -177,6 +186,8 @@ class EngineTelemetry:
             "guarded": 0,
             "undecided": 0,
             "skipped": 0,
+            "evidence_replay": 0,
+            "evidence_unsupported": 0,
             "oracle_conflicts": 0,
             "lint": 0,
             "sanitizer": 0,

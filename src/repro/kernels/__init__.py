@@ -10,11 +10,15 @@ loop's privatization.
 """
 
 from .registry import KERNELS, Kernel, get_kernel, kernels_for_program
+from .synthetic import FRONTIER_KERNELS, FrontierKernel, get_frontier_kernel
 from . import arc2d, figure1, mdg, ocean, synthetic, track, trfd
 
 __all__ = [
+    "FRONTIER_KERNELS",
+    "FrontierKernel",
     "KERNELS",
     "Kernel",
+    "get_frontier_kernel",
     "arc2d",
     "figure1",
     "get_kernel",

@@ -3,10 +3,16 @@
 ``make_loop_nest`` builds programs of configurable depth/width for the
 analysis-cost scaling bench; the named sources exercise individual
 analysis features (steps, reductions, goto cycles, premature exits) for
-tests.
+tests.  ``FRONTIER_KERNELS`` collects the loops the frontier pass
+(docs/frontier.md) exists to crack: each records the verdict with the
+pass on and off, so tests can assert both the upgrade and the
+conservative fallback.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
 #: simplest privatizable work-array loop
 SIMPLE_PRIVATIZABLE = """
@@ -325,3 +331,313 @@ def make_loop_nest(depth: int, width: int, routines: int = 1) -> str:
         + ["      END"]
     )
     return main + "\n" + "\n".join(units) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Frontier kernels (docs/frontier.md)
+# ---------------------------------------------------------------------------
+
+#: index-array gather: the content domain derives IDX(k) = 2k from the
+#: defining loop, separating the gather reads A(IDX(i)) = A(2i) from the
+#: odd-cell writes A(2i-1)
+IDX_GATHER = """
+      SUBROUTINE gath(A, B, IDX, n)
+      REAL A(2000), B(1000)
+      INTEGER IDX(1000)
+      INTEGER n, i
+      DO i = 1, n
+        IDX(i) = 2*i
+      ENDDO
+      DO i = 1, n
+        B(i) = A(IDX(i))
+        A(2*i-1) = B(i)
+      ENDDO
+      END
+"""
+
+#: first-write through an identity index array: with IDX(k) = k the
+#: write A(IDX(i)) covers the read A(IDX(i)) in the same iteration and
+#: distinct iterations touch distinct cells
+FIRST_WRITE = """
+      SUBROUTINE fwrite(A, B, C, IDX, n)
+      REAL A(2000), B(1000), C(1000)
+      INTEGER IDX(1000)
+      INTEGER n, i
+      DO i = 1, n
+        IDX(i) = i
+      ENDDO
+      DO i = 1, n
+        A(IDX(i)) = B(i)
+        C(i) = A(IDX(i)) + 1.0
+      ENDDO
+      END
+"""
+
+#: CSR-style segment walk: PTR(k) = 2k-1 makes the per-iteration windows
+#: [PTR(i), PTR(i)+1] provably disjoint
+CSR_SEGMENT = """
+      SUBROUTINE csr(A, B, PTR, n)
+      REAL A(2000), B(2000)
+      INTEGER PTR(1001)
+      INTEGER n, i, j
+      DO i = 1, n
+        PTR(i) = 2*i - 1
+      ENDDO
+      DO i = 1, n
+        DO j = PTR(i), PTR(i) + 1
+          B(j) = A(j)
+          A(j) = B(j) * 2.0
+        ENDDO
+      ENDDO
+      END
+"""
+
+#: textbook prefix sum: A(i) = A(i-1) + B(i)
+PREFIX_SUM = """
+      SUBROUTINE pref(A, B, n)
+      REAL A(1000), B(1000)
+      INTEGER n, i
+      DO i = 2, n
+        A(i) = A(i-1) + B(i)
+      ENDDO
+      END
+"""
+
+#: segmented scan: flagged iterations restart the chain, the rest extend it
+SEGMENTED_SCAN = """
+      SUBROUTINE segsc(A, B, F, n)
+      REAL A(1000), B(1000)
+      INTEGER F(1000)
+      INTEGER n, i
+      DO i = 2, n
+        IF (F(i) .GT. 0) THEN
+          A(i) = B(i)
+        ELSE
+          A(i) = A(i-1) + B(i)
+        ENDIF
+      ENDDO
+      END
+"""
+
+#: running scalar sum whose intermediate values escape into C — not a
+#: reduction (the chain is observed), but still a scan
+RUNNING_SUM = """
+      SUBROUTINE runsum(B, C, n, s)
+      REAL B(1000), C(1000), s
+      INTEGER n, i
+      s = 0.0
+      DO i = 1, n
+        s = s + B(i)
+        C(i) = s
+      ENDDO
+      END
+"""
+
+#: guarded first-write privatization: the flag loop pins F(j) to {1, 2},
+#: so the guard F(j) .GE. 1 is provably always true and T's guarded
+#: write is really an unconditional defining write
+FLAG_FIRST_WRITE = """
+      SUBROUTINE flagfw(A, B, F, n, m)
+      REAL A(1000), B(1000)
+      INTEGER F(1000)
+      INTEGER n, m, i, j
+      REAL T(1000)
+      DO j = 1, m
+        IF (B(j) .GT. 0.0) THEN
+          F(j) = 1
+        ELSE
+          F(j) = 2
+        ENDIF
+      ENDDO
+      DO i = 1, n
+        DO j = 1, m
+          IF (F(j) .GE. 1) THEN
+            T(j) = B(j) + A(i)
+          ENDIF
+        ENDDO
+        DO j = 1, m
+          A(i) = A(i) + T(j)
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+@dataclass(frozen=True)
+class FrontierKernel:
+    """One frontier loop plus its expected verdicts and run inputs."""
+
+    name: str
+    source: str
+    routine: str  # unit holding the target loop
+    var: str  # target loop's index variable
+    ordinal: int  # index among the routine's reports on that variable
+    expect_on: str  # LoopStatus.value with the frontier pass enabled
+    expect_off: str  # LoopStatus.value with the pass disabled
+    description: str
+    #: fresh interpreter arguments for ``run_routine`` (ground truth runs)
+    make_args: Callable[[], Mapping[str, Any]] = field(default=dict)
+
+    def target_report(self, result) -> Any:
+        """The target loop's report in a ``CompilationResult``."""
+        matches = [
+            rep
+            for rep in result.loops
+            if rep.routine == self.routine and rep.var == self.var
+        ]
+        return matches[self.ordinal]
+
+
+def _gather_args() -> dict:
+    return {
+        "a": [float(k) for k in range(1, 2001)],
+        "b": [0.0] * 1000,
+        "idx": [0] * 1000,
+        "n": 16,
+    }
+
+
+def _first_write_args() -> dict:
+    return {
+        "a": [0.0] * 2000,
+        "b": [float(k) for k in range(1, 1001)],
+        "c": [0.0] * 1000,
+        "idx": [0] * 1000,
+        "n": 16,
+    }
+
+
+def _csr_args() -> dict:
+    return {
+        "a": [float(k) for k in range(1, 2001)],
+        "b": [0.0] * 2000,
+        "ptr": [0] * 1001,
+        "n": 16,
+    }
+
+
+def _prefix_args() -> dict:
+    return {
+        "a": [1.0] + [0.0] * 999,
+        "b": [float(k % 7) for k in range(1, 1001)],
+        "n": 16,
+    }
+
+
+def _segscan_args() -> dict:
+    return {
+        "a": [1.0] + [0.0] * 999,
+        "b": [float(k % 5) for k in range(1, 1001)],
+        "f": [1 if k % 4 == 0 else 0 for k in range(1, 1001)],
+        "n": 16,
+    }
+
+
+def _runsum_args() -> dict:
+    return {
+        "b": [float(k % 9) for k in range(1, 1001)],
+        "c": [0.0] * 1000,
+        "n": 16,
+        "s": 0.0,
+    }
+
+
+def _flagfw_args() -> dict:
+    return {
+        "a": [1.0] * 1000,
+        "b": [float(k) if k % 3 else -float(k) for k in range(1, 1001)],
+        "f": [0] * 1000,
+        "n": 6,
+        "m": 8,
+    }
+
+
+#: every loop here is UNKNOWN/serial without the frontier pass and
+#: parallel (possibly scan-scheduled) with it — the pass's scoreboard
+FRONTIER_KERNELS: tuple[FrontierKernel, ...] = (
+    FrontierKernel(
+        name="idx_gather",
+        source=IDX_GATHER,
+        routine="gath",
+        var="i",
+        ordinal=1,
+        expect_on="parallel",
+        expect_off="serial",
+        description="gather through a derived index-array form",
+        make_args=_gather_args,
+    ),
+    FrontierKernel(
+        name="first_write",
+        source=FIRST_WRITE,
+        routine="fwrite",
+        var="i",
+        ordinal=1,
+        expect_on="parallel",
+        expect_off="serial",
+        description="first-write through an identity index array",
+        make_args=_first_write_args,
+    ),
+    FrontierKernel(
+        name="csr_segment",
+        source=CSR_SEGMENT,
+        routine="csr",
+        var="i",
+        ordinal=1,
+        expect_on="parallel (privatized)",
+        expect_off="serial",
+        description="disjoint segment windows via a pointer-array form",
+        make_args=_csr_args,
+    ),
+    FrontierKernel(
+        name="prefix_sum",
+        source=PREFIX_SUM,
+        routine="pref",
+        var="i",
+        ordinal=0,
+        expect_on="parallel (scan)",
+        expect_off="serial",
+        description="prefix sum over +",
+        make_args=_prefix_args,
+    ),
+    FrontierKernel(
+        name="segmented_scan",
+        source=SEGMENTED_SCAN,
+        routine="segsc",
+        var="i",
+        ordinal=0,
+        expect_on="parallel (scan)",
+        expect_off="serial",
+        description="flag-restarted segmented scan",
+        make_args=_segscan_args,
+    ),
+    FrontierKernel(
+        name="running_sum",
+        source=RUNNING_SUM,
+        routine="runsum",
+        var="i",
+        ordinal=0,
+        expect_on="parallel (scan)",
+        expect_off="serial",
+        description="running scalar sum observed mid-chain",
+        make_args=_runsum_args,
+    ),
+    FrontierKernel(
+        name="flag_first_write",
+        source=FLAG_FIRST_WRITE,
+        routine="flagfw",
+        var="i",
+        ordinal=0,
+        expect_on="parallel (privatized)",
+        expect_off="serial",
+        description="guard discharged by element bounds on the flag array",
+        make_args=_flagfw_args,
+    ),
+)
+
+
+def get_frontier_kernel(name: str) -> FrontierKernel:
+    """Look up one frontier kernel by name."""
+    for kernel in FRONTIER_KERNELS:
+        if kernel.name == name:
+            return kernel
+    raise KeyError(name)

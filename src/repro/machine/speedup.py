@@ -68,6 +68,31 @@ class MachineModel:
         )
         return max(serial / parallel, 1.0)
 
+    def scan_speedup(self, loop: LoopCost) -> float:
+        """Estimated speedup of a loop run under the two-pass scan
+        schedule (chunk partials, then finalize with incoming prefixes).
+
+        Each element is touched twice, the inter-chunk combine is a
+        second fork/join, and the combine itself is a short serial
+        ladder over the chunk summaries — so the scan ceiling is about
+        half the plain parallel-DO ceiling, matching the classic
+        ``2n/p + p`` work bound of block-wise prefix computation.
+        """
+        serial = loop.total_cost
+        if serial <= 0:
+            return 1.0
+        p_eff = self.effective_processors(loop.trips)
+        v = self.vector_gain(loop)
+        two_pass_compute = 2.0 * serial / (p_eff * v)
+        combine = self.sync_cost * p_eff  # serial chunk-summary ladder
+        parallel = (
+            two_pass_compute
+            + 2.0 * self.startup_cost
+            + combine
+            + self.sync_cost * (loop.trips / max(p_eff, 1.0))
+        )
+        return max(serial / parallel, 1.0)
+
     def program_speedup(
         self, cost: ProgramCost, parallel_loops: list[LoopCost]
     ) -> float:

@@ -8,16 +8,19 @@ from .classifier import (
     classify_loop,
 )
 from .loop_analysis import DependenceReport, loop_dependences, variable_dependences
+from .recurrences import RecurrenceMatch, find_recurrences
 from .reductions import Reduction, find_reductions
 
 __all__ = [
     "DependenceReport",
     "LoopStatus",
     "LoopVerdict",
+    "RecurrenceMatch",
     "Reduction",
     "VariableFinding",
     "classify_all_loops",
     "classify_loop",
+    "find_recurrences",
     "find_reductions",
     "loop_dependences",
     "variable_dependences",

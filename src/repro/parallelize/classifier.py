@@ -51,6 +51,9 @@ class LoopStatus(Enum):
     PARALLEL = "parallel"
     PARALLEL_AFTER_PRIVATIZATION = "parallel (privatized)"
     PARALLEL_WITH_REDUCTION = "parallel (reduction)"
+    #: a recognized scan/recurrence: parallel under the two-pass
+    #: (chunk partials → prefix combine → finalize) schedule
+    PARALLEL_SCAN = "parallel (scan)"
     SERIAL = "serial"
     #: the analysis budget ran out: the summary is the conservative
     #: whole-array fallback, so nothing can be proven either way — the
@@ -78,6 +81,11 @@ class LoopVerdict:
     #: recognized induction variables (parallelizable by rewriting the
     #: variable as a closed form of the loop index, paper section 5.2)
     inductions: list[str] = field(default_factory=list)
+    #: variables whose carried flow dependence is a recognized
+    #: scan/recurrence (frontier pass; docs/frontier.md)
+    scans: list[str] = field(default_factory=list)
+    #: the RecurrenceMatch records behind ``scans`` (evidence source)
+    scan_matches: list = field(default_factory=list)
     serial_reasons: list[str] = field(default_factory=list)
     record: LoopSummaryRecord | None = None
     privatization: LoopPrivatization | None = None
@@ -172,6 +180,11 @@ def classify_loop(
     from ..dataflow.sum_loop import recognized_inductions
 
     reductions = {r.name: r for r in find_reductions(loop.body)}
+    recurrences = {}
+    if analyzer.options.frontier:
+        from .recurrences import find_recurrences
+
+        recurrences = {m.name: m for m in find_recurrences(loop)}
     ctx = analyzer.context_for(unit_name)
     for idx in analyzer.enclosing_indices(unit_name, loop):
         ctx = ctx.with_index(idx)
@@ -207,6 +220,21 @@ def classify_loop(
                     )
                 )
                 verdict.reductions.append(name)
+                continue
+            if name in recurrences:
+                match = recurrences[name]
+                verdict.findings.append(
+                    VariableFinding(
+                        name,
+                        report,
+                        "scan",
+                        f"{match.shape} over {match.operator} "
+                        f"(distance {match.distance})",
+                    )
+                )
+                verdict.scans.append(name)
+                verdict.scan_matches.append(match)
+                analyzer.stats.recurrence_matches += 1
                 continue
             verdict.findings.append(
                 VariableFinding(
@@ -257,6 +285,10 @@ def classify_loop(
 
     if verdict.serial_reasons:
         verdict.status = LoopStatus.SERIAL
+    elif verdict.scans:
+        # the scan schedule subsumes privatization/reduction transforms
+        # also present in the loop — it is the binding constraint
+        verdict.status = LoopStatus.PARALLEL_SCAN
     elif verdict.privatized or verdict.inductions:
         verdict.status = LoopStatus.PARALLEL_AFTER_PRIVATIZATION
     elif verdict.reductions:

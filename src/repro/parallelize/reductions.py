@@ -9,6 +9,12 @@ the Polaris/Panorama generation of compilers applied.
 
 Array reductions ``A(e) = A(e) ⊕ expr`` (same subscript on both sides) are
 recognized the same way.
+
+Guarded conditional assignments ``IF (e .GT. t) t = e`` are the
+comparison-written form of ``t = max(t, e)`` (and ``.LT.`` of ``min``):
+the guard is the only place the accumulator is read, so the usual
+"accumulator appears nowhere else" rule gets a per-statement exemption
+when the guard and the assignment pair up exactly.
 """
 
 from __future__ import annotations
@@ -91,10 +97,59 @@ def _count_occurrences(expr: Expr, name: str) -> int:
     return count
 
 
+#: relation → operator when the guard reads ``e REL t`` (assigning t = e);
+#: flipped when the target is on the left
+_GUARD_OPS = {".gt.": "max", ".ge.": "max", ".lt.": "min", ".le.": "min"}
+_FLIP = {"max": "min", "min": "max"}
+
+
+def _guarded_minmax(
+    graph: FlowGraph, cond: IfConditionNode
+) -> tuple[str, Assign, str] | None:
+    """Match ``IF (e REL t) t = e`` → ``(name, assign, 'min'|'max')``.
+
+    The True arm must be a single-assignment basic block whose target is
+    one side of the relation and whose value is the other side — exactly
+    the conditional-replacement idiom of min/max searches.
+    """
+    guard = cond.cond
+    if not isinstance(guard, BinOp) or guard.op not in _GUARD_OPS:
+        return None
+    arm = None
+    for succ, label in graph.succs(cond):
+        if label is True:
+            if not isinstance(succ, BasicBlockNode):
+                return None
+            stmts = [s for s in succ.stmts if isinstance(s, Assign)]
+            if len(stmts) != 1 or len(succ.stmts) != 1:
+                return None
+            arm = stmts[0]
+    if arm is None:
+        return None
+    target = arm.target
+    if isinstance(target, NameRef):
+        name = target.name
+    elif isinstance(target, Apply):
+        name = target.name
+    else:
+        return None
+    if _count_occurrences(arm.value, name):
+        return None
+    for t_side, e_side, flip in (
+        (guard.right, guard.left, False),
+        (guard.left, guard.right, True),
+    ):
+        if _same_expr(t_side, target) and _same_expr(e_side, arm.value):
+            op = _GUARD_OPS[guard.op]
+            return name, arm, _FLIP[op] if flip else op
+    return None
+
+
 def find_reductions(body: FlowGraph) -> list[Reduction]:
     """Reductions over the statements of a loop body subgraph."""
     assigns: list[Assign] = []
     other_exprs: list[Expr] = []
+    cond_sites: list[tuple[FlowGraph, IfConditionNode]] = []
 
     def scan(graph: FlowGraph) -> None:
         for node in graph.nodes:
@@ -107,6 +162,7 @@ def find_reductions(body: FlowGraph) -> list[Reduction]:
                             pass
             elif isinstance(node, IfConditionNode):
                 other_exprs.append(node.cond)
+                cond_sites.append((graph, node))
             elif isinstance(node, LoopNode):
                 other_exprs.append(node.start)
                 other_exprs.append(node.stop)
@@ -125,6 +181,15 @@ def find_reductions(body: FlowGraph) -> list[Reduction]:
 
     scan(body)
 
+    # guarded min/max pairs: guard + arm are exempt from the
+    # "appears nowhere else" rule for their own accumulator
+    minmax: dict[str, list[tuple[Expr, Assign, str]]] = {}
+    for graph, cond in cond_sites:
+        matched = _guarded_minmax(graph, cond)
+        if matched is not None:
+            name, arm, op = matched
+            minmax.setdefault(name, []).append((cond.cond, arm, op))
+
     # group candidate statements by target name
     by_name: dict[str, list[Assign]] = {}
     for stmt in assigns:
@@ -133,12 +198,22 @@ def find_reductions(body: FlowGraph) -> list[Reduction]:
 
     out: list[Reduction] = []
     for name, stmts in sorted(by_name.items()):
-        ops = {_reduction_shape(s) for s in stmts}
+        pairs = minmax.get(name, [])
+        guarded_arms = [arm for _g, arm, _op in pairs]
+        guard_exprs = [g for g, _arm, _op in pairs]
+        plain = [s for s in stmts if s not in guarded_arms]
+        ops = {_reduction_shape(s) for s in plain}
+        ops |= {op for _g, _arm, op in pairs}
         if None in ops or len(ops) != 1:
             continue
         (op,) = ops
-        # the name must not appear anywhere outside its reduction statements
-        if any(_count_occurrences(e, name) for e in other_exprs):
+        # the name must not appear anywhere outside its reduction
+        # statements (matched guards excepted: they ARE the ⊕ read)
+        if any(
+            _count_occurrences(e, name)
+            for e in other_exprs
+            if not any(e is g for g in guard_exprs)
+        ):
             continue
         if any(
             _count_occurrences(other.value, name)
@@ -147,8 +222,11 @@ def find_reductions(body: FlowGraph) -> list[Reduction]:
             if other not in stmts
         ):
             continue
-        # each reduction statement reads the target exactly once on the rhs
-        if any(_count_occurrences(s.value, name) != 1 for s in stmts):
+        # each plain reduction statement reads the target exactly once
+        # on the rhs; guarded arms read it exactly once — in the guard
+        if any(_count_occurrences(s.value, name) != 1 for s in plain):
+            continue
+        if any(_count_occurrences(g, name) != 1 for g in guard_exprs):
             continue
         is_array = isinstance(stmts[0].target, Apply)
         out.append(Reduction(name, op, is_array))  # type: ignore[arg-type]

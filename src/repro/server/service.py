@@ -234,7 +234,7 @@ class AnalysisService:
         raw = body.get("options") or {}
         if not isinstance(raw, dict):
             raise RequestError(400, "request", '"options" must be an object')
-        known = {"ablate", "no_fm", "budget_ms", "budget_steps"}
+        known = {"ablate", "no_fm", "no_frontier", "budget_ms", "budget_steps"}
         unknown = set(raw) - known
         if unknown:
             raise RequestError(
@@ -251,6 +251,7 @@ class AnalysisService:
         budget_steps = self._clamped(
             raw, "budget_steps", self.config.budget_steps, int
         )
+        extra = {"frontier": False} if raw.get("no_frontier") else {}
         return AnalysisOptions(
             symbolic="T1" not in ablate,
             if_conditions="T2" not in ablate,
@@ -258,6 +259,7 @@ class AnalysisService:
             use_fm=not raw.get("no_fm", False),
             budget_ms=budget_ms,
             budget_steps=budget_steps,
+            **extra,
         )
 
     @staticmethod

@@ -188,13 +188,16 @@ def validate_loop(
     args: Mapping[str, object],
     env: Mapping[str, int] | None = None,
     occurrence: int = 0,
+    options=None,
 ) -> ValidationReport:
     """Run *routine* concretely and validate the analysis of loop *var*.
 
     ``args`` are the concrete dummy-argument values; ``env`` supplies the
     integer/logical bindings used to evaluate symbolic summaries (defaults
     to the integer- and bool-valued entries of ``args``); ``occurrence``
-    selects among several loops sharing the index variable name.
+    selects among several loops sharing the index variable name;
+    ``options`` configures the analysis (frontier content facts are
+    inferred and installed when it enables them).
     """
     analyzed = analyze(parse_program(source))
     hsg = build_hsg(analyzed)
@@ -218,7 +221,11 @@ def validate_loop(
     name_of = {id(storage): name for name, storage in frame.storage.items()}
     collector.finalize(name_of)
 
-    analyzer = SummaryAnalyzer(hsg)
+    analyzer = SummaryAnalyzer(hsg, options)
+    if analyzer.options.frontier and analyzer.options.symbolic:
+        from .contents import infer_program
+
+        infer_program(analyzed, analyzer.options).install(analyzer)
     record: LoopSummaryRecord = analyzer.loop_record(unit, target)
     enclosing = set(analyzer.enclosing_indices(unit, target))
     de_ctx = analyzer.context_for(unit)
@@ -306,3 +313,189 @@ def _check_containment(
         report.checked.add(name)
     elif report.iterations:
         report.skipped.add(name)
+
+
+# --------------------------------------------------------------------------- #
+# frontier validation: content facts and scan decompositions
+# --------------------------------------------------------------------------- #
+
+
+def validate_content_facts(
+    source: str,
+    routine: str,
+    args: Mapping[str, object],
+    env: Mapping[str, int] | None = None,
+    options=None,
+) -> list[str]:
+    """Check every inferred content fact against a concrete execution.
+
+    Runs *routine* in the interpreter, then verifies each fact of the
+    content domain as an invariant of the final storage: affine facts
+    must predict every segment cell exactly, bounds facts must contain
+    every cell, monotone facts must hold between consecutive cells.
+    Returns the violations (empty = all facts validated).
+    """
+    from fractions import Fraction
+
+    from .contents import infer_unit
+    from .fortran.interp import ArrayStorage
+
+    analyzed = analyze(parse_program(source))
+    facts = infer_unit(analyzed, routine, options)
+    hsg = build_hsg(analyzed)
+    interp = Interpreter(analyzed, hsg=hsg)
+    frame = interp.run_routine(routine, **args)
+    if env is None:
+        env = {
+            k: int(v)
+            for k, v in args.items()
+            if isinstance(v, (int, bool)) and not isinstance(v, float)
+        }
+
+    violations: list[str] = []
+    for fact in facts:
+        storage = frame.storage.get(fact.array)
+        if not isinstance(storage, ArrayStorage):
+            violations.append(f"{fact.array}: no array storage after run")
+            continue
+        try:
+            lo = fact.seg_lo.evaluate_int(env)
+            hi = fact.seg_hi.evaluate_int(env)
+        except Exception:
+            violations.append(
+                f"{fact.array}: segment [{fact.seg_lo}, {fact.seg_hi}] "
+                f"not evaluable under {dict(env)}"
+            )
+            continue
+        cells = []
+        for k in range(lo, hi + 1):
+            value = storage.cells.get((k,))
+            if value is None:
+                violations.append(
+                    f"{fact.array}({k}): cell in claimed segment never "
+                    f"written"
+                )
+                break
+            cells.append((k, Fraction(value) if not isinstance(
+                value, bool) else Fraction(int(value))))
+        else:
+            violations.extend(_check_fact_cells(fact, cells, env))
+    return violations
+
+
+def _check_fact_cells(fact, cells, env) -> list[str]:
+    out: list[str] = []
+    if fact.kind == "affine":
+        base = fact.base.evaluate(env)
+        for k, value in cells:
+            expected = fact.coeff * k + base
+            if value != expected:
+                out.append(
+                    f"{fact.array}({k}) = {value}, affine form predicts "
+                    f"{expected}"
+                )
+    if fact.value_lo is not None and fact.value_hi is not None:
+        for k, value in cells:
+            if not (fact.value_lo <= value <= fact.value_hi):
+                out.append(
+                    f"{fact.array}({k}) = {value} outside "
+                    f"[{fact.value_lo}, {fact.value_hi}]"
+                )
+    if fact.kind == "monotone" and fact.delta is not None:
+        for (k1, v1), (k2, v2) in zip(cells, cells[1:]):
+            if v2 - v1 != fact.delta:
+                out.append(
+                    f"{fact.array}({k2}) - {fact.array}({k1}) = {v2 - v1}, "
+                    f"recurrence step is {fact.delta}"
+                )
+    from .contents import Monotone
+
+    checks = {
+        Monotone.STRICT_INC: lambda a, b: b > a,
+        Monotone.STRICT_DEC: lambda a, b: b < a,
+        Monotone.NONDECREASING: lambda a, b: b >= a,
+        Monotone.NONINCREASING: lambda a, b: b <= a,
+        Monotone.CONSTANT: lambda a, b: b == a,
+    }
+    check = checks.get(fact.mono)
+    if check is not None:
+        for (k1, v1), (k2, v2) in zip(cells, cells[1:]):
+            if not check(v1, v2):
+                out.append(
+                    f"{fact.array}({k1}..{k2}) violates {fact.mono.value}"
+                )
+    return out
+
+
+_SCAN_OPS = {
+    "+": (lambda a, b: a + b, 0),
+    "*": (lambda a, b: a * b, 1),
+    "min": (min, None),
+    "max": (max, None),
+}
+
+
+def blocked_scan(op: str, seed, increments: list, chunks: int = 3) -> list:
+    """Reference two-pass execution of ``x_k = x_{k-1} ⊕ inc_k``.
+
+    Phase 1 computes each chunk's local fold of its increment slice;
+    phase 2 folds the chunk summaries serially into incoming prefixes;
+    phase 3 finalizes each chunk independently.  Returns the running
+    values (one per increment), which must equal the sequential scan —
+    this is the associativity argument PARALLEL_SCAN verdicts rest on.
+    """
+    fold, identity = _SCAN_OPS[op]
+    n = len(increments)
+    chunks = max(1, min(chunks, n)) if n else 1
+    bounds = [
+        (i * n // chunks, (i + 1) * n // chunks) for i in range(chunks)
+    ]
+    totals = []
+    for start, end in bounds:
+        acc = None
+        for inc in increments[start:end]:
+            acc = inc if acc is None else fold(acc, inc)
+        totals.append(acc)
+    out: list = [None] * n
+    incoming = seed
+    for (start, end), total in zip(bounds, totals):
+        acc = incoming
+        for k in range(start, end):
+            acc = fold(acc, increments[k])
+            out[k] = acc
+        if total is not None:
+            incoming = fold(incoming, total)
+    return out
+
+
+def blocked_affine_scan(
+    pairs: list[tuple], seed, chunks: int = 3
+) -> list:
+    """Reference two-pass execution of ``x_k = a_k * x_{k-1} + b_k``.
+
+    Affine maps compose associatively: ``(a2, b2) ∘ (a1, b1) =
+    (a2*a1, a2*b1 + b2)`` — each chunk composes its maps locally, chunk
+    compositions fold serially into incoming values, chunks finalize
+    independently.
+    """
+    n = len(pairs)
+    chunks = max(1, min(chunks, n)) if n else 1
+    bounds = [
+        (i * n // chunks, (i + 1) * n // chunks) for i in range(chunks)
+    ]
+    composed = []
+    for start, end in bounds:
+        ca, cb = 1, 0
+        for a, b in pairs[start:end]:
+            ca, cb = a * ca, a * cb + b
+        composed.append((ca, cb))
+    out: list = [None] * n
+    incoming = seed
+    for (start, end), (ca, cb) in zip(bounds, composed):
+        x = incoming
+        for k in range(start, end):
+            a, b = pairs[k]
+            x = a * x + b
+            out[k] = x
+        incoming = ca * incoming + cb
+    return out

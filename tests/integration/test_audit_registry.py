@@ -97,7 +97,11 @@ SEEDED_RACE = """\
 
 class TestEndToEndMisreport:
     """Acceptance: a known cross-iteration flow dependence is detected
-    when the classifier is forced to misreport via fault injection."""
+    when the classifier is forced to misreport via fault injection.
+
+    Runs with ``--no-frontier``: the seeded source is a genuine prefix
+    scan, and the frontier pass would (correctly) report it parallel,
+    leaving no serial verdict for the misreport seam to flip."""
 
     def test_strict_audit_exits_4_and_writes_sarif(self, tmp_path, capsys):
         src = tmp_path / "seeded.f"
@@ -111,6 +115,7 @@ class TestEndToEndMisreport:
                 "--sarif",
                 str(sarif_path),
                 "--no-machine",
+                "--no-frontier",
                 "--inject-faults",
                 "classifier.misreport:sweep/10",
             ]
@@ -125,6 +130,7 @@ class TestEndToEndMisreport:
         src = tmp_path / "seeded.f"
         src.write_text(SEEDED_RACE)
         code = batch_cli.main(
-            [str(src), "--audit", "--strict-audit", "--no-machine"]
+            [str(src), "--audit", "--strict-audit", "--no-machine",
+             "--no-frontier"]
         )
         assert code == 0

@@ -12,10 +12,25 @@ class TestSyntheticKernels:
         assert v.status is LoopStatus.PARALLEL_AFTER_PRIVATIZATION
         assert "t" in v.privatized
 
-    def test_recurrence_serial(self):
+    def test_recurrence_is_a_scan(self):
+        # the carried +1.0 chain is a prefix scan: the frontier pass
+        # upgrades it, with a recurrence evidence record and a two-pass
+        # schedule hint
         result = Panorama(run_machine_model=False).compile(synthetic.RECURRENCE)
         (loop,) = result.loops
+        assert loop.status is LoopStatus.PARALLEL_SCAN
+        assert loop.schedule == "two-pass-scan"
+        assert any(e["kind"] == "recurrence" for e in loop.evidence)
+
+    def test_recurrence_serial_without_frontier(self):
+        from repro import AnalysisOptions
+
+        result = Panorama(
+            AnalysisOptions(frontier=False), run_machine_model=False
+        ).compile(synthetic.RECURRENCE)
+        (loop,) = result.loops
         assert loop.status is LoopStatus.SERIAL
+        assert loop.evidence == []
 
     def test_reduction(self):
         v = loop_verdicts(synthetic.REDUCTION)[("sumup", "i")]

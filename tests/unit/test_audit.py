@@ -20,7 +20,12 @@ def clean_plan(monkeypatch):
 
 
 def compile_source(source: str):
-    panorama = Panorama(AnalysisOptions(), run_machine_model=False)
+    # frontier off: these fixtures plant misreports on loops that must
+    # stay serial, but FLOW_DEP is a genuine prefix scan the frontier
+    # pass would (correctly) upgrade, leaving nothing to misreport
+    panorama = Panorama(
+        AnalysisOptions(frontier=False), run_machine_model=False
+    )
     return panorama.compile(source)
 
 

@@ -1,0 +1,192 @@
+"""Unit tests for the scan/recurrence recognizer (docs/frontier.md)."""
+
+from fractions import Fraction
+
+from repro.fortran import analyze, parse_program
+from repro.hsg import build_hsg
+from repro.parallelize.recurrences import (
+    AFFINE_SCAN,
+    PREFIX_SCAN,
+    RUNNING_SCALAR,
+    SEGMENTED_SCAN,
+    RecurrenceMatch,
+    find_recurrences,
+)
+
+
+def first_loop(source: str, routine: str):
+    hsg = build_hsg(analyze(parse_program(source)))
+    for unit, loop in hsg.all_loops():
+        if unit == routine:
+            return loop
+    raise AssertionError(f"no loop in {routine}")
+
+
+def matches(source: str, routine: str = "sub"):
+    return find_recurrences(first_loop(source, routine))
+
+
+def wrap(body: str, decls: str = "      REAL A(100), B(100)") -> str:
+    return (
+        "      SUBROUTINE sub(A, B, n, s)\n"
+        f"{decls}\n"
+        "      REAL s\n"
+        "      INTEGER n, i\n"
+        f"{body}"
+        "      END\n"
+    )
+
+
+class TestArrayScans:
+    def test_prefix_sum(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 2, n\n"
+                "        A(i) = A(i-1) + B(i)\n"
+                "      ENDDO\n"
+            )
+        )
+        assert m.shape == PREFIX_SCAN
+        assert m.name == "a" and m.operator == "+" and m.distance == 1
+        assert m.is_array and not m.guarded
+
+    def test_product_scan(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 2, n\n"
+                "        A(i) = A(i-1) * B(i)\n"
+                "      ENDDO\n"
+            )
+        )
+        assert m.shape == PREFIX_SCAN and m.operator == "*"
+
+    def test_max_intrinsic_scan(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 2, n\n"
+                "        A(i) = MAX(A(i-1), B(i))\n"
+                "      ENDDO\n"
+            )
+        )
+        assert m.shape == PREFIX_SCAN and m.operator == "max"
+
+    def test_distance_two(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 3, n\n"
+                "        A(i) = A(i-2) + B(i)\n"
+                "      ENDDO\n"
+            )
+        )
+        assert m.distance == 2
+
+    def test_affine_scan_carries_coefficient(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 2, n\n"
+                "        A(i) = 3*A(i-1) + B(i)\n"
+                "      ENDDO\n"
+            )
+        )
+        assert m.shape == AFFINE_SCAN
+        assert Fraction(m.coefficient) == 3
+
+    def test_segmented_scan(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 2, n\n"
+                "        IF (B(i) .GT. 0.0) THEN\n"
+                "          A(i) = B(i)\n"
+                "        ELSE\n"
+                "          A(i) = A(i-1) + B(i)\n"
+                "        ENDIF\n"
+                "      ENDDO\n"
+            )
+        )
+        assert m.shape == SEGMENTED_SCAN and m.guarded
+
+    def test_guarded_single_update_rejected(self):
+        # a skipped iteration leaves a stale cell the chain then reads:
+        # not a scan, and must not be reported as one
+        assert (
+            matches(
+                wrap(
+                    "      DO i = 2, n\n"
+                    "        IF (B(i) .GT. 0.0) THEN\n"
+                    "          A(i) = A(i-1) + B(i)\n"
+                    "        ENDIF\n"
+                    "      ENDDO\n"
+                )
+            )
+            == []
+        )
+
+    def test_interleaved_write_breaks_stream_readiness(self):
+        # B feeds the increment but is also written in the body, so the
+        # two-pass schedule cannot precompute the increment stream
+        assert (
+            matches(
+                wrap(
+                    "      DO i = 2, n\n"
+                    "        B(i) = A(i) + 1.0\n"
+                    "        A(i) = A(i-1) + B(i)\n"
+                    "      ENDDO\n"
+                )
+            )
+            == []
+        )
+
+
+class TestScalarScans:
+    def test_running_sum(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 1, n\n"
+                "        s = s + B(i)\n"
+                "        A(i) = s\n"
+                "      ENDDO\n"
+            )
+        )
+        assert m.shape == RUNNING_SCALAR and not m.is_array
+        assert m.name == "s" and m.operator == "+"
+
+    def test_plain_reduction_is_not_a_scan(self):
+        # without an escaping read the accumulator is a reduction;
+        # reporting it as a scan would double-classify
+        assert (
+            matches(
+                wrap(
+                    "      DO i = 1, n\n"
+                    "        s = s + B(i)\n"
+                    "      ENDDO\n"
+                )
+            )
+            == []
+        )
+
+
+class TestPayloads:
+    def test_roundtrip(self):
+        (m,) = matches(
+            wrap(
+                "      DO i = 2, n\n"
+                "        A(i) = A(i-1) + B(i)\n"
+                "      ENDDO\n"
+            )
+        )
+        payload = m.to_payload()
+        assert payload["kind"] == "recurrence"
+        assert m.matches_payload(payload)
+
+    def test_detail_and_lineno_ignored(self):
+        m = RecurrenceMatch(name="a", shape=PREFIX_SCAN, operator="+")
+        payload = m.to_payload()
+        payload["detail"] = "tampered"
+        payload["lineno"] = 999
+        assert m.matches_payload(payload)
+
+    def test_claim_fields_compared(self):
+        m = RecurrenceMatch(name="a", shape=PREFIX_SCAN, operator="+")
+        payload = m.to_payload()
+        payload["operator"] = "*"
+        assert not m.matches_payload(payload)
